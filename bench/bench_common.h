@@ -1,0 +1,72 @@
+// Shared output helpers for the table/figure benches.
+//
+// Absolute numbers are machine-dependent (the paper used 300 MHz
+// UltraSPARCs; see EXPERIMENTS.md): what must reproduce is the *shape* —
+// which configuration wins and by roughly what factor — so every bench
+// prints measured values next to the paper's and the ratios next to each
+// other.
+
+#ifndef ENSEMBLE_BENCH_BENCH_COMMON_H_
+#define ENSEMBLE_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/perf/latency_harness.h"
+
+namespace ensemble {
+
+// Best-of-N: element-wise minimum across repeated measurements — the
+// standard defence against scheduler noise on a shared core.
+inline PhaseLatency MeasureBest(const LatencyConfig& config, int attempts) {
+  PhaseLatency best = MeasureCodeLatency(config);
+  for (int i = 1; i < attempts; i++) {
+    PhaseLatency lat = MeasureCodeLatency(config);
+    best.down_stack_ns = std::min(best.down_stack_ns, lat.down_stack_ns);
+    best.down_trans_ns = std::min(best.down_trans_ns, lat.down_trans_ns);
+    best.up_trans_ns = std::min(best.up_trans_ns, lat.up_trans_ns);
+    best.up_stack_ns = std::min(best.up_stack_ns, lat.up_stack_ns);
+  }
+  return best;
+}
+
+inline void PrintPhaseTable(const std::string& title,
+                            const std::vector<std::string>& mode_names,
+                            const std::vector<PhaseLatency>& lat) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-16s", "(ns/msg)");
+  for (const auto& m : mode_names) {
+    std::printf("%12s", m.c_str());
+  }
+  std::printf("\n");
+  auto row = [&](const char* name, auto getter) {
+    std::printf("%-16s", name);
+    for (const auto& l : lat) {
+      std::printf("%12.1f", getter(l));
+    }
+    std::printf("\n");
+  };
+  row("Down Stack", [](const PhaseLatency& l) { return l.down_stack_ns; });
+  row("Down Transport", [](const PhaseLatency& l) { return l.down_trans_ns; });
+  row("Up Transport", [](const PhaseLatency& l) { return l.up_trans_ns; });
+  row("Up Stack", [](const PhaseLatency& l) { return l.up_stack_ns; });
+  row("Total", [](const PhaseLatency& l) { return l.total_ns(); });
+}
+
+inline void PrintRatios(const std::vector<std::string>& mode_names,
+                        const std::vector<PhaseLatency>& lat,
+                        const std::vector<double>& paper_totals_us, size_t baseline_index) {
+  std::printf("\n%-10s %14s %14s %18s %18s\n", "mode", "total(ns)", "vs " "baseline",
+              "paper total(us)", "paper ratio");
+  for (size_t i = 0; i < lat.size(); i++) {
+    std::printf("%-10s %14.1f %14.2f %18.1f %18.2f\n", mode_names[i].c_str(),
+                lat[i].total_ns(), lat[i].total_ns() / lat[baseline_index].total_ns(),
+                paper_totals_us[i], paper_totals_us[i] / paper_totals_us[baseline_index]);
+  }
+}
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,40 @@
+// Table 1(a): 10-layer stack code latency for MACH / IMP / FUNC with 4-byte
+// messages, split into Down Stack / Down Transport / Up Transport / Up Stack.
+//
+// Paper values (µs on a 300 MHz UltraSPARC):
+//               MACH   IMP   FUNC
+//   Down Stack     9    20     42
+//   Down Trans     8    27     30
+//   Up Trans       7    20     22
+//   Up Stack       8    14     38
+//   Total         32    81    132
+//
+// Expected shape: MACH << IMP < FUNC, roughly 1 : 2.5 : 4.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace ensemble;
+
+  const std::vector<StackMode> modes = {StackMode::kMachine, StackMode::kImperative,
+                                        StackMode::kFunctional};
+  const std::vector<std::string> names = {"MACH", "IMP", "FUNC"};
+
+  std::vector<PhaseLatency> results;
+  for (StackMode mode : modes) {
+    LatencyConfig config;
+    config.mode = mode;
+    config.layers = TenLayerStack();
+    config.msg_size = 4;
+    config.reps = 10000;
+    // Warm-up pass, then the measured pass (paper: 10,000 reps averaged).
+    LatencyConfig warm = config;
+    warm.reps = 2000;
+    MeasureCodeLatency(warm);
+    results.push_back(MeasureBest(config, 3));
+  }
+
+  PrintPhaseTable("Table 1(a) reproduction: 10-layer stack, 4-byte messages", names, results);
+  PrintRatios(names, results, {32, 81, 132}, /*baseline=*/0);
+  return 0;
+}

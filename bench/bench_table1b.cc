@@ -1,0 +1,39 @@
+// Table 1(b): 4-layer stack (top/pt2pt/mnak/bottom) code latency for
+// HAND / MACH / IMP / FUNC with 4-byte messages.
+//
+// Paper values (µs):
+//               HAND  MACH   IMP  FUNC
+//   Down Stack     2     2    13    14
+//   Down Trans     4     6     4     6
+//   Up Trans       6     7     8     9
+//   Up Stack       2     4    10    13
+//   Total         14    19    35    42
+//
+// Expected shape: HAND <= MACH << IMP < FUNC; HAND ~25% better than MACH.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace ensemble;
+
+  const std::vector<StackMode> modes = {StackMode::kHand, StackMode::kMachine,
+                                        StackMode::kImperative, StackMode::kFunctional};
+  const std::vector<std::string> names = {"HAND", "MACH", "IMP", "FUNC"};
+
+  std::vector<PhaseLatency> results;
+  for (StackMode mode : modes) {
+    LatencyConfig config;
+    config.mode = mode;
+    config.layers = FourLayerStack();
+    config.msg_size = 4;
+    config.reps = 10000;
+    LatencyConfig warm = config;
+    warm.reps = 2000;
+    MeasureCodeLatency(warm);
+    results.push_back(MeasureBest(config, 3));
+  }
+
+  PrintPhaseTable("Table 1(b) reproduction: 4-layer stack, 4-byte messages", names, results);
+  PrintRatios(names, results, {14, 19, 35, 42}, /*baseline=*/1);
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Measured end-to-end latency over a real transport (kernel UDP loopback) —
+// the directly-measured counterpart of bench_endtoend's derivation.
+//
+// The paper reports end-to-end improvements of 30% (Ethernet, 80 µs) and 54%
+// (VIA, 10 µs) for the 10-layer stack: the faster the link, the more the
+// protocol optimization matters.  Kernel loopback plays the role of a fast
+// interconnect here: two endpoints ping-pong 4-byte casts through real
+// sockets and we time complete round trips per configuration.
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/app/endpoint.h"
+#include "src/net/udp.h"
+#include "src/perf/timer.h"
+
+namespace ensemble {
+namespace {
+
+constexpr int kRounds = 2000;
+
+// Returns average one-way latency (ns) for a ping-pong over real UDP, or a
+// negative value when sockets are unavailable.
+double MeasureUdpRoundTrip(StackMode mode) {
+  UdpNetwork net;
+  EndpointConfig config;
+  config.mode = mode;
+  config.layers = TenLayerStack();
+  config.params.local_loopback = false;
+  config.params.mflow_window = 1u << 30;
+  config.params.pt2pt_window = 1u << 30;
+  config.params.stable_interval = 1u << 30;
+  config.timer_interval = 0;  // Quiet: no retransmission needed on loopback.
+
+  GroupEndpoint a(EndpointId{1}, &net, config);
+  GroupEndpoint b(EndpointId{2}, &net, config);
+  if (!net.ok()) {
+    return -1.0;
+  }
+  size_t a_got = 0;
+  Bytes payload = Bytes::Allocate(4);
+  std::memset(payload.MutableData(), 0, 4);
+  // Pings are casts (a holds the ordering token); pongs are point-to-point
+  // sends (no token needed), so every round exercises the common-case cast
+  // and send paths in both directions with no token transfers.
+  b.OnDeliver([&](const Event& ev) {
+    if (ev.type == EventType::kDeliverCast) {
+      b.Send(0, Iovec(payload));
+    }
+  });
+  a.OnDeliver([&](const Event& ev) {
+    if (ev.type == EventType::kDeliverSend) {
+      a_got++;
+    }
+  });
+
+  auto view = std::make_shared<View>();
+  view->vid = ViewId{0, 1};
+  view->members = {EndpointId{1}, EndpointId{2}};
+  a.Start(view);
+  b.Start(view);
+
+  // Warm-up.
+  for (int i = 0; i < 100; i++) {
+    a.Cast(Iovec(payload));
+    while (a_got <= static_cast<size_t>(i)) {
+      net.Poll();
+    }
+  }
+  size_t base = a_got;
+  PhaseTimer t;
+  t.Start();
+  for (int i = 0; i < kRounds; i++) {
+    a.Cast(Iovec(payload));
+    while (a_got <= base + static_cast<size_t>(i)) {
+      net.Poll();
+    }
+  }
+  t.Stop();
+  // One round = two one-way messages.
+  return static_cast<double>(t.total_ns()) / kRounds / 2.0;
+}
+
+}  // namespace
+}  // namespace ensemble
+
+int main() {
+  using namespace ensemble;
+
+  std::printf("Measured end-to-end over kernel UDP loopback, 10-layer stack, %d"
+              " ping-pong rounds\n",
+              kRounds);
+  double func = MeasureUdpRoundTrip(StackMode::kFunctional);
+  if (func < 0) {
+    std::printf("(UDP sockets unavailable in this environment; see bench_endtoend for the"
+                " simulated derivation)\n");
+    return 0;
+  }
+  double imp = MeasureUdpRoundTrip(StackMode::kImperative);
+  double mach = MeasureUdpRoundTrip(StackMode::kMachine);
+
+  std::printf("\n%-8s %16s\n", "mode", "one-way (ns)");
+  std::printf("%-8s %16.0f\n", "FUNC", func);
+  std::printf("%-8s %16.0f\n", "IMP", imp);
+  std::printf("%-8s %16.0f\n", "MACH", mach);
+  std::printf("\nmeasured end-to-end improvement MACH vs FUNC: %.0f%%\n",
+              (func - mach) / func * 100.0);
+  std::printf("measured end-to-end improvement MACH vs IMP:  %.0f%%\n",
+              (imp - mach) / imp * 100.0);
+  std::printf("(paper, 10-layer: 30%% on Ethernet, 54%% on VIA — faster links amplify\n"
+              " the protocol optimization; kernel loopback sits between those regimes)\n");
+  return 0;
+}

@@ -1,0 +1,297 @@
+#include "src/app/endpoint.h"
+
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace ensemble {
+
+const char* StackModeName(StackMode m) {
+  switch (m) {
+    case StackMode::kImperative:
+      return "IMP";
+    case StackMode::kFunctional:
+      return "FUNC";
+    case StackMode::kMachine:
+      return "MACH";
+    case StackMode::kHand:
+      return "HAND";
+  }
+  return "?";
+}
+
+GroupEndpoint::GroupEndpoint(EndpointId self, Network* net, EndpointConfig config)
+    : self_(self), net_(net), config_(std::move(config)), transport_(&conns_) {
+  EngineKind engine = config_.mode == StackMode::kImperative ? EngineKind::kImperative
+                                                             : EngineKind::kFunctional;
+  stack_ = BuildStack(engine, config_.layers, config_.params, self_);
+  stack_->set_dn_out([this](Event ev) { HandleStackDnOut(std::move(ev)); });
+  stack_->set_up_out([this](Event ev) { HandleStackUpOut(std::move(ev)); });
+  if (net_ != nullptr) {
+    net_->Attach(self_, [this](const Packet& p) { HandlePacket(p); });
+  }
+  alive_token_ = std::make_shared<bool>(true);
+}
+
+GroupEndpoint::~GroupEndpoint() {
+  *alive_token_ = false;
+  if (net_ != nullptr) {
+    net_->Detach(self_);
+  }
+}
+
+void GroupEndpoint::Start(ViewRef initial_view) {
+  ENS_CHECK(!started_);
+  started_ = true;
+  view_ = initial_view;
+  stack_->Init(std::move(initial_view));
+  CompileBypass();
+  ArmTimer();
+}
+
+void GroupEndpoint::SwitchStack(std::vector<LayerId> layers, ViewRef new_view) {
+  ENS_CHECK(started_);
+  ENS_CHECK_MSG(!view_ || new_view->vid.counter > view_->vid.counter,
+                "stack switches must move to a later view");
+  config_.layers = std::move(layers);
+  EngineKind engine = config_.mode == StackMode::kImperative ? EngineKind::kImperative
+                                                             : EngineKind::kFunctional;
+  stack_ = BuildStack(engine, config_.layers, config_.params, self_);
+  stack_->set_dn_out([this](Event ev) { HandleStackDnOut(std::move(ev)); });
+  stack_->set_up_out([this](Event ev) { HandleStackUpOut(std::move(ev)); });
+  view_ = new_view;
+  stack_->Init(std::move(new_view));
+  CompileBypass();
+  if (on_view_) {
+    on_view_(view_);
+  }
+}
+
+void GroupEndpoint::CompileBypass() {
+  conns_.Clear();
+  cast_route_.reset();
+  send_route_.reset();
+  hand_.reset();
+  if (config_.mode == StackMode::kMachine) {
+    std::string error;
+    cast_route_ = CompileRoutePair(stack_.get(), /*cast=*/true, &error);
+    ENS_CHECK_MSG(cast_route_ != nullptr, "bypass compile failed: " << error);
+    send_route_ = CompileRoutePair(stack_.get(), /*cast=*/false, &error);
+    ENS_CHECK_MSG(send_route_ != nullptr, "bypass compile failed: " << error);
+    ENS_CHECK(conns_.Register(cast_route_.get()));
+    ENS_CHECK(conns_.Register(send_route_.get()));
+  } else if (config_.mode == StackMode::kHand) {
+    std::string error;
+    hand_ = Hand4Bypass::Create(stack_.get(), &error);
+    ENS_CHECK_MSG(hand_ != nullptr, "hand bypass unavailable: " << error);
+    ENS_CHECK(conns_.Register(hand_->cast_route()));
+    ENS_CHECK(conns_.Register(hand_->send_route()));
+  }
+}
+
+void GroupEndpoint::ArmTimer() {
+  if (net_ == nullptr || config_.timer_interval == 0) {
+    return;
+  }
+  std::weak_ptr<bool> alive = alive_token_;
+  net_->ScheduleTimer(config_.timer_interval, [this, alive]() {
+    auto token = alive.lock();
+    if (!token || !*token || !alive_) {
+      return;
+    }
+    stack_->Down(Event::Timer(net_->Now()));
+    ArmTimer();
+  });
+}
+
+void GroupEndpoint::Cast(Iovec payload) {
+  stats_.casts++;
+  Event ev = Event::Cast(std::move(payload));
+  if (config_.mode == StackMode::kMachine && cast_route_ != nullptr) {
+    Iovec wire;
+    std::vector<Event> self_deliveries;
+    if (cast_route_->TryDown(ev, &wire, &self_deliveries)) {
+      stats_.bypass_down++;
+      if (net_ != nullptr) {
+        net_->Broadcast(self_, wire);
+      }
+      for (Event& self : self_deliveries) {
+        HandleStackUpOut(std::move(self));
+      }
+      return;
+    }
+    stats_.bypass_down_miss++;
+  } else if (config_.mode == StackMode::kHand && hand_ != nullptr) {
+    Iovec wire;
+    if (hand_->TryDownCast(ev, &wire)) {
+      stats_.bypass_down++;
+      if (net_ != nullptr) {
+        net_->Broadcast(self_, wire);
+      }
+      return;
+    }
+    stats_.bypass_down_miss++;
+  }
+  stack_->Down(std::move(ev));
+}
+
+void GroupEndpoint::Send(Rank dest, Iovec payload) {
+  stats_.sends++;
+  Event ev = Event::Send(dest, std::move(payload));
+  if (config_.mode == StackMode::kMachine && send_route_ != nullptr) {
+    Iovec wire;
+    if (send_route_->TryDown(ev, &wire, nullptr)) {
+      stats_.bypass_down++;
+      if (net_ != nullptr && view_ && dest >= 0 && dest < view_->nmembers()) {
+        net_->Send(self_, view_->members[static_cast<size_t>(dest)], wire);
+      }
+      return;
+    }
+    stats_.bypass_down_miss++;
+  } else if (config_.mode == StackMode::kHand && hand_ != nullptr) {
+    Iovec wire;
+    if (hand_->TryDownSend(ev, &wire)) {
+      stats_.bypass_down++;
+      if (net_ != nullptr && view_ && dest >= 0 && dest < view_->nmembers()) {
+        net_->Send(self_, view_->members[static_cast<size_t>(dest)], wire);
+      }
+      return;
+    }
+    stats_.bypass_down_miss++;
+  }
+  stack_->Down(std::move(ev));
+}
+
+void GroupEndpoint::Leave() {
+  stack_->Down(Event::OfType(EventType::kLeave));
+  alive_ = false;
+  if (net_ != nullptr) {
+    net_->Detach(self_);
+  }
+}
+
+void GroupEndpoint::HandleStackDnOut(Event ev) {
+  // The bottom layer emitted a message: marshal and put it on the network.
+  if (net_ == nullptr || !view_) {
+    return;
+  }
+  Rank my_rank = view_->RankOf(self_);
+  Iovec wire = transport_.MarshalDown(ev, my_rank);
+  if (ev.type == EventType::kCast) {
+    net_->Broadcast(self_, wire);
+  } else if (ev.type == EventType::kSend) {
+    if (ev.dest >= 0 && ev.dest < view_->nmembers()) {
+      net_->Send(self_, view_->members[static_cast<size_t>(ev.dest)], wire);
+    }
+  }
+}
+
+void GroupEndpoint::HandleStackUpOut(Event ev) {
+  switch (ev.type) {
+    case EventType::kDeliverCast:
+    case EventType::kDeliverSend:
+      stats_.delivered++;
+      if (on_deliver_) {
+        on_deliver_(ev);
+      }
+      return;
+    case EventType::kView:
+      InstallView(ev.view);
+      return;
+    case EventType::kInit:
+      return;  // Our own Start.
+    case EventType::kExit:
+      alive_ = false;
+      if (net_ != nullptr) {
+        net_->Detach(self_);
+      }
+      if (on_exit_) {
+        on_exit_();
+      }
+      return;
+    default:
+      return;  // Block / Suspect / Stable / Elect: internal bookkeeping.
+  }
+}
+
+void GroupEndpoint::InstallView(ViewRef v) {
+  view_ = v;
+  // A new view invalidates the compiled routes (the constants changed).
+  if (config_.mode == StackMode::kMachine || config_.mode == StackMode::kHand) {
+    CompileBypass();
+  }
+  if (on_view_) {
+    on_view_(view_);
+  }
+}
+
+void GroupEndpoint::HandlePacket(const Packet& packet) {
+  if (!alive_) {
+    return;
+  }
+  stats_.packets_in++;
+  InjectDatagram(packet.datagram);
+}
+
+void GroupEndpoint::InjectDatagram(const Bytes& datagram) {
+  // HAND mode intercepts its own connections before the generic dispatch.
+  if (config_.mode == StackMode::kHand && hand_ != nullptr && datagram.size() >= 6 &&
+      datagram[0] == kWireCompressed) {
+    uint32_t conn_id;
+    std::memcpy(&conn_id, datagram.data() + 1, 4);
+    Rank origin = static_cast<Rank>(datagram[5]);
+    Event out;
+    RoutePair::UpResult r;
+    if (conn_id == hand_->cast_conn_id()) {
+      r = hand_->TryUpCast(datagram, 6, origin, &out);
+    } else if (conn_id == hand_->send_conn_id()) {
+      r = hand_->TryUpSend(datagram, 6, origin, &out);
+    } else {
+      return;  // Unknown connection.
+    }
+    switch (r) {
+      case RoutePair::UpResult::kDelivered:
+        stats_.bypass_up++;
+        HandleStackUpOut(std::move(out));
+        return;
+      case RoutePair::UpResult::kFallback:
+        stats_.bypass_up_fallback++;
+        stack_->Up(std::move(out));
+        return;
+      case RoutePair::UpResult::kBad:
+        return;
+    }
+  }
+
+  Transport::UpResult up = transport_.DispatchUp(datagram);
+  switch (up.kind) {
+    case Transport::UpKind::kDelivered:
+      stats_.bypass_up++;
+      HandleStackUpOut(std::move(up.ev));
+      return;
+    case Transport::UpKind::kStackEvent:
+      if (up.via_bypass) {
+        stats_.bypass_up_fallback++;
+      }
+      stack_->Up(std::move(up.ev));
+      return;
+    case Transport::UpKind::kDrop:
+      return;
+  }
+}
+
+std::string GroupEndpoint::DescribeBypass() const {
+  std::string out;
+  if (cast_route_ != nullptr) {
+    out += cast_route_->Describe();
+  }
+  if (send_route_ != nullptr) {
+    out += send_route_->Describe();
+  }
+  if (hand_ != nullptr) {
+    out += "HAND bypass wrapping:\n";
+  }
+  return out;
+}
+
+}  // namespace ensemble

@@ -1,0 +1,140 @@
+// GroupEndpoint — the public API of the library.
+//
+// One endpoint is one group member: a protocol stack (built from micro-
+// protocol components), a transport, and — depending on the execution mode —
+// compiled bypass routes, wired to a (simulated) network.  The four modes
+// are the paper's four measured configurations:
+//
+//   kImperative (IMP)   central event scheduler
+//   kFunctional (FUNC)  recursive functional composition
+//   kMachine    (MACH)  compiled common-case bypass + header compression,
+//                       normal FUNC stack for everything else (Fig. 4)
+//   kHand       (HAND)  hand-fused 4-layer bypass, transport integrated
+//
+// Typical use:
+//   GroupEndpoint ep(EndpointId{1}, &net, config);
+//   ep.OnDeliver([](const Event& ev) { ... });
+//   ep.Start(initial_view);
+//   ep.Cast(Iovec(Bytes::CopyString("hello")));
+
+#ifndef ENSEMBLE_SRC_APP_ENDPOINT_H_
+#define ENSEMBLE_SRC_APP_ENDPOINT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bypass/conn_table.h"
+#include "src/bypass/hand.h"
+#include "src/net/network.h"
+#include "src/stack/engine.h"
+#include "src/trans/transport.h"
+
+namespace ensemble {
+
+enum class StackMode { kImperative, kFunctional, kMachine, kHand };
+const char* StackModeName(StackMode m);
+
+struct EndpointConfig {
+  StackMode mode = StackMode::kFunctional;
+  std::vector<LayerId> layers = TenLayerStack();
+  LayerParams params;
+  // Periodic kTimer injection (retransmission, heartbeats, acks).  0 = off.
+  VTime timer_interval = Millis(1);
+};
+
+class GroupEndpoint {
+ public:
+  struct Stats {
+    uint64_t casts = 0;
+    uint64_t sends = 0;
+    uint64_t delivered = 0;
+    uint64_t bypass_down = 0;       // Fast-path sends.
+    uint64_t bypass_down_miss = 0;  // CCP said no: normal path used.
+    uint64_t bypass_up = 0;         // Fast-path deliveries.
+    uint64_t bypass_up_fallback = 0;
+    uint64_t packets_in = 0;
+  };
+
+  using DeliverFn = std::function<void(const Event&)>;
+  using ViewFn = std::function<void(const ViewRef&)>;
+
+  GroupEndpoint(EndpointId self, Network* net, EndpointConfig config);
+  ~GroupEndpoint();
+
+  GroupEndpoint(const GroupEndpoint&) = delete;
+  GroupEndpoint& operator=(const GroupEndpoint&) = delete;
+
+  // Installs the initial view, compiles bypass routes (MACH/HAND), and arms
+  // the periodic timer.
+  void Start(ViewRef initial_view);
+
+  // Switches to a different protocol stack on the fly (paper §4.1.3 / [25]:
+  // "Ensemble's support for dynamically loading layers and switching
+  // protocol stacks").  The switch happens at a view boundary: `new_view`
+  // must carry a higher view counter and the same composition must be
+  // installed by every member (the harness's SwitchAll coordinates this);
+  // traffic still in flight from the old view is discarded by the new
+  // bottom layer's view stamp.
+  void SwitchStack(std::vector<LayerId> layers, ViewRef new_view);
+
+  // Multicast to the whole group / point-to-point to a rank.
+  void Cast(Iovec payload);
+  void Send(Rank dest, Iovec payload);
+
+  // Leaves the group: the endpoint goes silent and detaches from the
+  // network.  Remaining members' failure detectors observe the silence and
+  // vote the leaver out (membership stacks), exactly like a crash — Ensemble
+  // distinguishes graceful leaves only as an optimization.
+  void Leave();
+
+  void OnDeliver(DeliverFn fn) { on_deliver_ = std::move(fn); }
+  void OnView(ViewFn fn) { on_view_ = std::move(fn); }
+  void OnExit(std::function<void()> fn) { on_exit_ = std::move(fn); }
+
+  EndpointId id() const { return self_; }
+  Rank rank() const { return view_ ? view_->RankOf(self_) : kNoRank; }
+  const ViewRef& view() const { return view_; }
+  ProtocolStack* stack() { return stack_.get(); }
+  const Stats& stats() const { return stats_; }
+  const EndpointConfig& config() const { return config_; }
+
+  // The composed optimization theorems of the compiled routes (MACH/HAND).
+  std::string DescribeBypass() const;
+
+  // Exposed for the latency benches, which drive the phases by hand.
+  RoutePair* cast_route() { return cast_route_.get(); }
+  Transport& transport() { return transport_; }
+  void InjectDatagram(const Bytes& datagram);  // As if received from the net.
+
+ private:
+  void HandleStackDnOut(Event ev);
+  void HandleStackUpOut(Event ev);
+  void HandlePacket(const Packet& packet);
+  void InstallView(ViewRef v);
+  void CompileBypass();
+  void ArmTimer();
+
+  EndpointId self_;
+  Network* net_;
+  EndpointConfig config_;
+  std::unique_ptr<ProtocolStack> stack_;
+  ConnTable conns_;
+  Transport transport_;
+  std::unique_ptr<RoutePair> cast_route_;
+  std::unique_ptr<RoutePair> send_route_;
+  std::unique_ptr<Hand4Bypass> hand_;
+  ViewRef view_;
+  DeliverFn on_deliver_;
+  ViewFn on_view_;
+  std::function<void()> on_exit_;
+  Stats stats_;
+  bool started_ = false;
+  bool alive_ = true;  // Cleared on kExit (excluded from a view).
+  std::shared_ptr<bool> alive_token_;  // Guards timer callbacks after dtor.
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_APP_ENDPOINT_H_

@@ -1,0 +1,45 @@
+// Connection table: maps the compressed-header connection identifier to the
+// compiled route that understands it.
+//
+// Paper §4.1.3: "most of the header fields are fixed (constant) now, [so] we
+// only have to transmit the header fields that may vary" — the constants are
+// folded into a short identifier.  Both sides derive identical identifiers
+// deterministically from the stack composition (same layers, same field
+// plans, same view), so no negotiation is needed.
+
+#ifndef ENSEMBLE_SRC_BYPASS_CONN_TABLE_H_
+#define ENSEMBLE_SRC_BYPASS_CONN_TABLE_H_
+
+#include <map>
+
+#include "src/bypass/compiler.h"
+
+namespace ensemble {
+
+class ConnTable {
+ public:
+  // Registers a compiled route under its connection id.  Returns false on an
+  // id collision with a different route (callers treat that as fatal — the
+  // id space is 32 bits and stacks per process are few).
+  bool Register(RoutePair* route) {
+    auto [it, inserted] = table_.emplace(route->conn_id(), route);
+    return inserted || it->second == route;
+  }
+
+  void Unregister(uint32_t conn_id) { table_.erase(conn_id); }
+  void Clear() { table_.clear(); }
+
+  RoutePair* Find(uint32_t conn_id) const {
+    auto it = table_.find(conn_id);
+    return it == table_.end() ? nullptr : it->second;
+  }
+
+  size_t size() const { return table_.size(); }
+
+ private:
+  std::map<uint32_t, RoutePair*> table_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_BYPASS_CONN_TABLE_H_

@@ -1,0 +1,28 @@
+#include "src/event/event.h"
+
+#include <sstream>
+
+namespace ensemble {
+
+std::string Event::ToString() const {
+  std::ostringstream os;
+  os << EventTypeName(type);
+  if (origin != kNoRank) {
+    os << " org=" << origin;
+  }
+  if (dest != kNoRank) {
+    os << " dst=" << dest;
+  }
+  if (!payload.empty()) {
+    os << " len=" << payload.size();
+  }
+  if (!hdrs.empty()) {
+    os << " hdrs=" << hdrs.depth();
+  }
+  if (view) {
+    os << " " << view->ToString();
+  }
+  return os.str();
+}
+
+}  // namespace ensemble

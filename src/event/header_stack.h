@@ -1,0 +1,126 @@
+// Per-message layered headers.
+//
+// On the down path each layer pushes its header; on the up path each layer
+// pops its own.  Headers are trivially-copyable structs stored back-to-back
+// in one arena, so push/pop are bump-pointer operations and the whole stack
+// can be walked by the generic marshaler (paper §4: "each layer encapsulates
+// the value into another one consisting of the header of that layer and the
+// headers of the layers above it").
+
+#ifndef ENSEMBLE_SRC_EVENT_HEADER_STACK_H_
+#define ENSEMBLE_SRC_EVENT_HEADER_STACK_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "src/event/types.h"
+#include "src/marshal/header_desc.h"
+#include "src/util/logging.h"
+
+namespace ensemble {
+
+class HeaderStack {
+ public:
+  struct Entry {
+    LayerId layer;
+    uint16_t offset;
+    uint16_t size;
+  };
+
+  HeaderStack() = default;
+
+  bool empty() const { return entries_.empty(); }
+  size_t depth() const { return entries_.size(); }
+
+  template <typename T>
+  void Push(LayerId layer, const T& hdr) {
+    static_assert(std::is_trivially_copyable_v<T>, "headers must be PODs");
+    size_t off = arena_.size();
+    arena_.resize(off + sizeof(T));
+    std::memcpy(arena_.data() + off, &hdr, sizeof(T));
+    // Compiler padding is indeterminate after aggregate init; normalize so
+    // header stacks compare and hash bytewise.
+    ZeroHeaderPadding(layer, arena_.data() + off, sizeof(T));
+    entries_.push_back({layer, static_cast<uint16_t>(off), static_cast<uint16_t>(sizeof(T))});
+  }
+
+  // Pops the top header, which must belong to `layer` and have type T.
+  template <typename T>
+  T Pop(LayerId layer) {
+    static_assert(std::is_trivially_copyable_v<T>, "headers must be PODs");
+    ENS_CHECK_MSG(!entries_.empty(), "header stack underflow at " << LayerIdName(layer));
+    const Entry& e = entries_.back();
+    ENS_CHECK_MSG(e.layer == layer && e.size == sizeof(T),
+                  "header mismatch: top=" << LayerIdName(e.layer) << " size=" << e.size
+                                          << " want=" << LayerIdName(layer));
+    T hdr;
+    std::memcpy(&hdr, arena_.data() + e.offset, sizeof(T));
+    arena_.resize(e.offset);
+    entries_.pop_back();
+    return hdr;
+  }
+
+  // Peeks the top header without popping; nullptr-like semantics via bool.
+  template <typename T>
+  bool PeekTop(LayerId layer, T* out) const {
+    if (entries_.empty()) {
+      return false;
+    }
+    const Entry& e = entries_.back();
+    if (e.layer != layer || e.size != sizeof(T)) {
+      return false;
+    }
+    std::memcpy(out, arena_.data() + e.offset, sizeof(T));
+    return true;
+  }
+
+  LayerId TopLayer() const { return entries_.empty() ? LayerId::kNone : entries_.back().layer; }
+
+  // Raw push used by the generic unmarshaler (header type resolved via the
+  // descriptor registry, not via C++ types).
+  void PushRaw(LayerId layer, const void* data, size_t size) {
+    size_t off = arena_.size();
+    arena_.resize(off + size);
+    std::memcpy(arena_.data() + off, data, size);
+    entries_.push_back({layer, static_cast<uint16_t>(off), static_cast<uint16_t>(size)});
+  }
+
+  // Iteration bottom-of-stack-first (the order headers were pushed).
+  size_t entry_count() const { return entries_.size(); }
+  const Entry& entry(size_t i) const { return entries_[i]; }
+  const uint8_t* entry_data(size_t i) const { return arena_.data() + entries_[i].offset; }
+
+  size_t arena_bytes() const { return arena_.size(); }
+
+  void Clear() {
+    entries_.clear();
+    arena_.clear();
+  }
+
+  bool operator==(const HeaderStack& other) const {
+    if (entries_.size() != other.entries_.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < entries_.size(); i++) {
+      const Entry& a = entries_[i];
+      const Entry& b = other.entries_[i];
+      if (a.layer != b.layer || a.size != b.size) {
+        return false;
+      }
+      if (std::memcmp(arena_.data() + a.offset, other.arena_.data() + b.offset, a.size) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<uint8_t> arena_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_EVENT_HEADER_STACK_H_

@@ -1,0 +1,115 @@
+#include "src/event/types.h"
+
+#include <sstream>
+
+namespace ensemble {
+
+std::string View::ToString() const {
+  std::ostringstream os;
+  os << "view{" << vid.coord << "." << vid.counter << " [";
+  for (size_t i = 0; i < members.size(); i++) {
+    os << (i > 0 ? "," : "") << members[i].id;
+  }
+  os << "]}";
+  return os.str();
+}
+
+const char* LayerIdName(LayerId id) {
+  switch (id) {
+    case LayerId::kNone:
+      return "none";
+    case LayerId::kBottom:
+      return "bottom";
+    case LayerId::kMnak:
+      return "mnak";
+    case LayerId::kPt2pt:
+      return "pt2pt";
+    case LayerId::kMflow:
+      return "mflow";
+    case LayerId::kPt2ptw:
+      return "pt2ptw";
+    case LayerId::kFrag:
+      return "frag";
+    case LayerId::kCollect:
+      return "collect";
+    case LayerId::kLocal:
+      return "local";
+    case LayerId::kTotal:
+      return "total";
+    case LayerId::kTotalBuggy:
+      return "total_buggy";
+    case LayerId::kPartialAppl:
+      return "partial_appl";
+    case LayerId::kTop:
+      return "top";
+    case LayerId::kFifoCheck:
+      return "fifo_check";
+    case LayerId::kTotalCheck:
+      return "total_check";
+    case LayerId::kSuspect:
+      return "suspect";
+    case LayerId::kElect:
+      return "elect";
+    case LayerId::kSync:
+      return "sync";
+    case LayerId::kIntra:
+      return "intra";
+    case LayerId::kStable:
+      return "stable";
+    case LayerId::kEncrypt:
+      return "encrypt";
+    case LayerId::kSign:
+      return "sign";
+    case LayerId::kTestLinear:
+      return "test_linear";
+    case LayerId::kTestBounce:
+      return "test_bounce";
+    case LayerId::kTestSplit:
+      return "test_split";
+    case LayerId::kMaxLayerId:
+      return "max";
+  }
+  return "?";
+}
+
+const char* EventTypeName(EventType t) {
+  switch (t) {
+    case EventType::kNone:
+      return "None";
+    case EventType::kCast:
+      return "Cast";
+    case EventType::kSend:
+      return "Send";
+    case EventType::kTimer:
+      return "Timer";
+    case EventType::kBlockOk:
+      return "BlockOk";
+    case EventType::kLeave:
+      return "Leave";
+    case EventType::kSuspectDn:
+      return "SuspectDn";
+    case EventType::kDeliverCast:
+      return "DeliverCast";
+    case EventType::kDeliverSend:
+      return "DeliverSend";
+    case EventType::kInit:
+      return "Init";
+    case EventType::kView:
+      return "View";
+    case EventType::kBlock:
+      return "Block";
+    case EventType::kSuspect:
+      return "Suspect";
+    case EventType::kElect:
+      return "Elect";
+    case EventType::kStable:
+      return "Stable";
+    case EventType::kLostMessage:
+      return "LostMessage";
+    case EventType::kExit:
+      return "Exit";
+  }
+  return "?";
+}
+
+}  // namespace ensemble

@@ -1,0 +1,124 @@
+// Core identifier types shared across the system: endpoints, views, layer
+// identities, event types.
+//
+// Terminology follows the paper and Ensemble: a *view* is the current group
+// membership; a member's *rank* is its index in the view; micro-protocol
+// layers exchange *events* that travel up or down the stack.
+
+#ifndef ENSEMBLE_SRC_EVENT_TYPES_H_
+#define ENSEMBLE_SRC_EVENT_TYPES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ensemble {
+
+// Globally unique process identity (survives across views).
+struct EndpointId {
+  uint64_t id = 0;
+  bool operator==(const EndpointId&) const = default;
+  auto operator<=>(const EndpointId&) const = default;
+};
+
+// Index of a member within a view.
+using Rank = int32_t;
+constexpr Rank kNoRank = -1;
+
+// View identifier: (coordinator endpoint, logical counter).  Lexicographic
+// order gives a total order on views.
+struct ViewId {
+  uint64_t coord = 0;
+  uint64_t counter = 0;
+  bool operator==(const ViewId&) const = default;
+  auto operator<=>(const ViewId&) const = default;
+};
+
+// Group membership snapshot.  Shared immutably between layers and events.
+struct View {
+  ViewId vid;
+  std::vector<EndpointId> members;
+
+  int nmembers() const { return static_cast<int>(members.size()); }
+  Rank RankOf(EndpointId e) const {
+    for (size_t i = 0; i < members.size(); i++) {
+      if (members[i] == e) {
+        return static_cast<Rank>(i);
+      }
+    }
+    return kNoRank;
+  }
+  std::string ToString() const;
+};
+
+using ViewRef = std::shared_ptr<const View>;
+
+// Identities of the micro-protocol layers in the library.  Header entries and
+// bypass rules are keyed by LayerId.
+enum class LayerId : uint8_t {
+  kNone = 0,
+  kBottom,
+  kMnak,
+  kPt2pt,
+  kMflow,
+  kPt2ptw,
+  kFrag,
+  kCollect,
+  kLocal,
+  kTotal,
+  kTotalBuggy,
+  kPartialAppl,
+  kTop,
+  kFifoCheck,
+  kTotalCheck,
+  kSuspect,
+  kElect,
+  kSync,
+  kIntra,
+  kStable,
+  kEncrypt,
+  kSign,
+  // Synthetic layers used by composition-rule tests.
+  kTestLinear,
+  kTestBounce,
+  kTestSplit,
+  kMaxLayerId,  // Sentinel; keep last.
+};
+
+const char* LayerIdName(LayerId id);
+constexpr size_t kLayerIdCount = static_cast<size_t>(LayerId::kMaxLayerId);
+
+// Event types.  Which direction a type travels is conventional (paper §2:
+// "Certain types of events travel down (e.g., send events), while others
+// (such as message delivery events) travel up the stack").
+enum class EventType : uint8_t {
+  kNone = 0,
+  // Down-going.
+  kCast,       // Application multicast to the group.
+  kSend,       // Application point-to-point message to `dest`.
+  kTimer,      // Periodic alarm sweeping down through every layer.
+  kBlockOk,    // Application/upper layers agree to block (view change flush).
+  kLeave,      // This member leaves the group.
+  kSuspectDn,  // Failure suspicion announced downward (to be gossiped).
+  // Up-going.
+  kDeliverCast,  // Multicast delivery, origin = sender rank.
+  kDeliverSend,  // Point-to-point delivery, origin = sender rank.
+  kInit,         // Stack start: carries the initial view.
+  kView,         // New view installed.
+  kBlock,        // Request from below to stop sending (flush in progress).
+  kSuspect,      // Failure detector suspects `origin`.
+  kElect,        // This member became coordinator.
+  kStable,       // Stability vector update (messages safe to garbage-collect).
+  kLostMessage,  // Reliability gave up on a message (network partition).
+  kExit,         // Stack shut down.
+};
+
+const char* EventTypeName(EventType t);
+
+// Direction of travel.
+enum class Dir : uint8_t { kUp, kDown };
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_EVENT_TYPES_H_

@@ -1,0 +1,73 @@
+#include "src/layers/bottom.h"
+
+#include "src/marshal/header_desc.h"
+#include "src/util/hash.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_HEADER(BottomHeader, LayerId::kBottom,
+                         ENS_FIELD(BottomHeader, kU8, kind),
+                         ENS_FIELD(BottomHeader, kU32, view_ctr));
+ENSEMBLE_REGISTER_LAYER(LayerId::kBottom, BottomLayer);
+
+void BottomLayer::Dn(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kCast:
+    case EventType::kSend: {
+      if (!fast_.enabled) {
+        return;  // Disabled: messages are silently dropped (lossy network
+                 // semantics make this safe; reliability layers recover).
+      }
+      BottomHeader hdr{0, fast_.view_ctr};
+      ev.hdrs.Push(LayerId::kBottom, hdr);
+      sink.PassDn(std::move(ev));
+      return;
+    }
+    case EventType::kView:
+      // A view installation travelling down re-initializes the lowest layer
+      // and stops here (nothing below to tell).
+      NoteView(ev);
+      fast_.view_ctr = static_cast<uint32_t>(ev.view->vid.counter);
+      return;
+    case EventType::kTimer:
+    case EventType::kBlockOk:
+    case EventType::kLeave:
+    case EventType::kSuspectDn:
+      // Bottom of the stack: non-message down events are consumed.
+      return;
+    default:
+      return;
+  }
+}
+
+void BottomLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kDeliverCast:
+    case EventType::kDeliverSend: {
+      BottomHeader hdr = ev.hdrs.Pop<BottomHeader>(LayerId::kBottom);
+      if (!fast_.enabled || hdr.view_ctr != fast_.view_ctr) {
+        return;  // Stale view or disabled: drop.
+      }
+      sink.PassUp(std::move(ev));
+      return;
+    }
+    case EventType::kInit:
+      NoteView(ev);
+      fast_.enabled = 1;
+      fast_.view_ctr = static_cast<uint32_t>(ev.view->vid.counter);
+      sink.PassUp(std::move(ev));
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+uint64_t BottomLayer::StateDigest() const {
+  uint64_t h = kFnvOffset;
+  h = FnvMixU64(h, fast_.enabled);
+  h = FnvMixU64(h, fast_.view_ctr);
+  return h;
+}
+
+}  // namespace ensemble

@@ -1,0 +1,48 @@
+// bottom — the lowest micro-protocol layer.
+//
+// Stamps every outgoing message with the current view counter and drops
+// stale-view traffic on the way up; gates all traffic on `enabled` (the layer
+// is disabled until Init and during teardown).  The paper's example
+// optimization theorem is about exactly this layer: "under the assumption
+// that the layer is enabled, a down-going send-event does not change the
+// state s_bottom and is passed down to the next layer, with its header hdr
+// extended to Full_nohdr(hdr)".
+
+#ifndef ENSEMBLE_SRC_LAYERS_BOTTOM_H_
+#define ENSEMBLE_SRC_LAYERS_BOTTOM_H_
+
+#include <cstdint>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+struct BottomHeader {
+  uint8_t kind;      // 0 = data (the only kind; field kept for uniformity).
+  uint32_t view_ctr; // View counter the message was sent in.
+};
+
+// Hot state shared with the compiled bypass.
+struct BottomFast {
+  uint8_t enabled = 0;
+  uint32_t view_ctr = 0;
+};
+
+class BottomLayer : public Layer {
+ public:
+  explicit BottomLayer(const LayerParams& params) : Layer(LayerId::kBottom) {}
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  void* FastState() override { return &fast_; }
+  uint64_t StateDigest() const override;
+
+  const BottomFast& fast() const { return fast_; }
+
+ private:
+  BottomFast fast_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_BOTTOM_H_

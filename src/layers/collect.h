@@ -1,0 +1,73 @@
+// collect — stability collection.
+//
+// Tracks, per sender, how far this member has received that sender's casts —
+// in mnak's sequence-number space, via the seq_hint mnak stamps on every
+// delivery (data and protocol casts alike, so gossip traffic itself becomes
+// stable).  The vector is gossiped to the group every `stable_interval` data
+// deliveries (plus a quiescence round on the timer); each member aggregates
+// everyone's vectors and announces, for each sender, the minimum over the
+// *other* members' rows (a sender trivially has its own casts) as a kStable
+// event travelling *down* so the reliability layers (mnak) can prune their
+// retransmission buffers.
+
+#ifndef ENSEMBLE_SRC_LAYERS_COLLECT_H_
+#define ENSEMBLE_SRC_LAYERS_COLLECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+struct CollectHeader {
+  uint8_t kind;  // CollectKind.
+};
+
+enum CollectKind : uint8_t {
+  kCollectData = 0,
+  kCollectGossip = 1,
+};
+
+struct CollectFast {
+  uint32_t since_gossip = 0;  // Deliveries since the last gossip round.
+  uint32_t interval = 16;
+  class CollectLayer* self = nullptr;
+};
+
+class CollectLayer : public Layer {
+ public:
+  explicit CollectLayer(const LayerParams& params) : Layer(LayerId::kCollect) {
+    fast_.interval = params.stable_interval;
+    fast_.self = this;
+  }
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  void* FastState() override { return &fast_; }
+  uint64_t StateDigest() const override;
+
+  // Bookkeeping for a delivered cast (shared by the normal path and the
+  // bypass rule): advances the watermark for `origin` to seq_hint + 1 and,
+  // for data casts, counts toward the gossip interval.  Returns true when no
+  // gossip round fell due.
+  bool CountDelivered(Rank origin, uint64_t seq_hint, bool is_data);
+  const std::vector<uint64_t>& acks() const { return acks_; }
+  const std::vector<uint64_t>& last_stable() const { return last_stable_; }
+
+ private:
+  void Gossip(EventSink& sink);
+  void Aggregate(Rank from, const std::vector<uint64_t>& their_acks, EventSink& sink);
+  void ResetForView();
+
+  CollectFast fast_;
+  bool data_since_gossip_ = false;                  // Damps gossip ping-pong.
+  std::vector<uint64_t> last_gossiped_;             // acks_ as of the last gossip.
+  std::vector<uint64_t> acks_;                      // acks_[r]: watermark of r's casts.
+  std::vector<std::vector<uint64_t>> peer_acks_;    // Last vector heard from each member.
+  std::vector<uint64_t> last_stable_;               // Last announced minimum.
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_COLLECT_H_

@@ -1,0 +1,61 @@
+#include "src/layers/elect.h"
+
+#include "src/util/hash.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_LAYER(LayerId::kElect, ElectLayer);
+
+void ElectLayer::Recompute(EventSink& sink) {
+  Rank c = 0;
+  while (c < static_cast<Rank>(nmembers_) && suspected_.count(c) > 0) {
+    c++;
+  }
+  coord_ = c;
+  if (coord_ == rank_ && !announced_) {
+    announced_ = true;
+    sink.PassUp(Event::OfType(EventType::kElect));
+  }
+}
+
+void ElectLayer::Dn(Event ev, EventSink& sink) {
+  if (ev.type == EventType::kView) {
+    NoteView(ev);
+    suspected_.clear();
+    coord_ = 0;
+    announced_ = false;
+  }
+  sink.PassDn(std::move(ev));
+}
+
+void ElectLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kSuspect:
+      suspected_.insert(ev.origin);
+      sink.PassUp(std::move(ev));
+      Recompute(sink);
+      return;
+    case EventType::kInit:
+    case EventType::kView:
+      NoteView(ev);
+      suspected_.clear();
+      coord_ = 0;
+      announced_ = false;
+      sink.PassUp(std::move(ev));
+      Recompute(sink);
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+uint64_t ElectLayer::StateDigest() const {
+  uint64_t h = kFnvOffset;
+  h = FnvMixU64(h, static_cast<uint64_t>(coord_));
+  h = FnvMixU64(h, suspected_.size());
+  h = FnvMixU64(h, announced_);
+  return h;
+}
+
+}  // namespace ensemble

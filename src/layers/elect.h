@@ -1,0 +1,38 @@
+// elect — coordinator election.
+//
+// The coordinator is the lowest-ranked member not suspected of failure.
+// This layer watches kSuspect events from the failure detector, recomputes
+// the coordinator, and announces kElect upward the moment this member takes
+// over.  (Rank 0 is the coordinator of a fresh view, announced at Init.)
+
+#ifndef ENSEMBLE_SRC_LAYERS_ELECT_H_
+#define ENSEMBLE_SRC_LAYERS_ELECT_H_
+
+#include <set>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+class ElectLayer : public Layer {
+ public:
+  explicit ElectLayer(const LayerParams& params) : Layer(LayerId::kElect) {}
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  uint64_t StateDigest() const override;
+
+  Rank coordinator() const { return coord_; }
+  bool IsCoordinator() const { return coord_ == rank_; }
+
+ private:
+  void Recompute(EventSink& sink);
+
+  std::set<Rank> suspected_;
+  Rank coord_ = 0;
+  bool announced_ = false;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_ELECT_H_

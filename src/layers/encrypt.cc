@@ -1,0 +1,69 @@
+#include "src/layers/encrypt.h"
+
+#include "src/marshal/header_desc.h"
+#include "src/util/rng.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_HEADER(EncryptHeader, LayerId::kEncrypt, ENS_FIELD(EncryptHeader, kU8, kind),
+                         ENS_FIELD(EncryptHeader, kU32, nonce));
+ENSEMBLE_REGISTER_LAYER(LayerId::kEncrypt, EncryptLayer);
+
+Iovec EncryptLayer::Transform(const Iovec& payload, uint32_t nonce) const {
+  uint64_t seed = key_ ^ (static_cast<uint64_t>(nonce) << 32);
+  if (view_) {
+    seed ^= view_->vid.coord * 31 + view_->vid.counter;
+  }
+  Rng stream(seed);
+  Bytes out = Bytes::Allocate(payload.size());
+  uint8_t* dst = out.MutableData();
+  size_t pos = 0;
+  for (size_t part = 0; part < payload.part_count(); part++) {
+    const Bytes& b = payload.part(part);
+    for (size_t i = 0; i < b.size(); i++) {
+      dst[pos++] = b[i] ^ static_cast<uint8_t>(stream.Next());
+    }
+  }
+  return Iovec(std::move(out));
+}
+
+void EncryptLayer::Dn(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kCast:
+    case EventType::kSend: {
+      uint32_t nonce = next_nonce_++;
+      ev.payload = Transform(ev.payload, nonce);
+      ev.hdrs.Push(LayerId::kEncrypt, EncryptHeader{0, nonce});
+      sink.PassDn(std::move(ev));
+      return;
+    }
+    case EventType::kView:
+      NoteView(ev);
+      sink.PassDn(std::move(ev));
+      return;
+    default:
+      sink.PassDn(std::move(ev));
+      return;
+  }
+}
+
+void EncryptLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kDeliverCast:
+    case EventType::kDeliverSend: {
+      EncryptHeader hdr = ev.hdrs.Pop<EncryptHeader>(LayerId::kEncrypt);
+      ev.payload = Transform(ev.payload, hdr.nonce);  // XOR stream: involution.
+      sink.PassUp(std::move(ev));
+      return;
+    }
+    case EventType::kInit:
+      NoteView(ev);
+      sink.PassUp(std::move(ev));
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+}  // namespace ensemble

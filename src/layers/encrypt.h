@@ -1,0 +1,41 @@
+// encrypt — payload privacy.
+//
+// A keystream cipher over the message payload (xoshiro-derived stream keyed
+// by a shared secret and the view id).  Demonstration-grade crypto standing
+// in for Ensemble's encryption micro-protocols: the point is the layering
+// (a payload-transforming component), not the cipher strength.
+
+#ifndef ENSEMBLE_SRC_LAYERS_ENCRYPT_H_
+#define ENSEMBLE_SRC_LAYERS_ENCRYPT_H_
+
+#include <cstdint>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+struct EncryptHeader {
+  uint8_t kind;    // 0 = encrypted payload.
+  uint32_t nonce;  // Per-message stream nonce.
+};
+
+class EncryptLayer : public Layer {
+ public:
+  explicit EncryptLayer(const LayerParams& params) : Layer(LayerId::kEncrypt) {}
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+
+  // Shared group secret; must match across members (configured out of band).
+  void SetKey(uint64_t key) { key_ = key; }
+
+ private:
+  Iovec Transform(const Iovec& payload, uint32_t nonce) const;
+
+  uint64_t key_ = 0x5EC12E7C0DEull;
+  uint32_t next_nonce_ = 1;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_ENCRYPT_H_

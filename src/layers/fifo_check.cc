@@ -1,0 +1,55 @@
+#include "src/layers/fifo_check.h"
+
+#include "src/marshal/header_desc.h"
+#include "src/util/hash.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_HEADER(FifoCheckHeader, LayerId::kFifoCheck,
+                         ENS_FIELD(FifoCheckHeader, kU32, seqno));
+ENSEMBLE_REGISTER_LAYER(LayerId::kFifoCheck, FifoCheckLayer);
+
+void FifoCheckLayer::Dn(Event ev, EventSink& sink) {
+  if (ev.type == EventType::kCast) {
+    ev.hdrs.Push(LayerId::kFifoCheck, FifoCheckHeader{next_seqno_++});
+  } else if (ev.type == EventType::kView) {
+    NoteView(ev);
+    next_seqno_ = 0;
+    expected_.clear();
+  }
+  sink.PassDn(std::move(ev));
+}
+
+void FifoCheckLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kDeliverCast: {
+      FifoCheckHeader hdr = ev.hdrs.Pop<FifoCheckHeader>(LayerId::kFifoCheck);
+      uint32_t& want = expected_[ev.origin];
+      if (hdr.seqno != want) {
+        violations_++;
+      }
+      want = hdr.seqno + 1;
+      sink.PassUp(std::move(ev));
+      return;
+    }
+    case EventType::kInit:
+    case EventType::kView:
+      NoteView(ev);
+      next_seqno_ = 0;
+      expected_.clear();
+      sink.PassUp(std::move(ev));
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+uint64_t FifoCheckLayer::StateDigest() const {
+  uint64_t h = kFnvOffset;
+  h = FnvMixU64(h, next_seqno_);
+  h = FnvMixU64(h, violations_);
+  return h;
+}
+
+}  // namespace ensemble

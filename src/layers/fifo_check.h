@@ -1,0 +1,42 @@
+// fifo_check — a checking layer (paper §3: checking an implementation against
+// its specification).
+//
+// Inserted anywhere above the reliability layers, it shadows the FIFO
+// property with its own sequence numbers: a private seqno is pushed on every
+// down-going cast and verified on every up-going delivery.  Violations are
+// counted, not fatal, so tests can assert on them (and deliberately broken
+// stacks can be observed).
+
+#ifndef ENSEMBLE_SRC_LAYERS_FIFO_CHECK_H_
+#define ENSEMBLE_SRC_LAYERS_FIFO_CHECK_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+struct FifoCheckHeader {
+  uint32_t seqno;
+};
+
+class FifoCheckLayer : public Layer {
+ public:
+  explicit FifoCheckLayer(const LayerParams& params) : Layer(LayerId::kFifoCheck) {}
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  uint64_t StateDigest() const override;
+
+  uint64_t violations() const { return violations_; }
+
+ private:
+  uint32_t next_seqno_ = 0;
+  std::map<Rank, uint32_t> expected_;
+  uint64_t violations_ = 0;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_FIFO_CHECK_H_

@@ -1,0 +1,67 @@
+// frag — fragmentation and reassembly.
+//
+// Payloads larger than `frag_max` are split into numbered fragments (sliced
+// zero-copy from the original scatter-gather payload) and reassembled at the
+// receiver keyed by (origin, message id).  Small payloads pass through with a
+// "whole" header — the common case the bypass CCP selects.
+
+#ifndef ENSEMBLE_SRC_LAYERS_FRAG_H_
+#define ENSEMBLE_SRC_LAYERS_FRAG_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+struct FragHeader {
+  uint8_t kind;        // FragKind.
+  uint16_t frag_index; // Fragment position.
+  uint16_t frag_count; // Total fragments of the message.
+  uint32_t msg_id;     // Per-sender fragmented-message counter.
+};
+
+enum FragKind : uint8_t {
+  kFragWhole = 0,
+  kFragPiece = 1,
+};
+
+struct FragFast {
+  uint32_t frag_max = 0;  // Copy of the threshold for the bypass CCP.
+  uint32_t next_msg_id = 0;
+};
+
+class FragLayer : public Layer {
+ public:
+  explicit FragLayer(const LayerParams& params) : Layer(LayerId::kFrag) {
+    fast_.frag_max = static_cast<uint32_t>(params.frag_max);
+  }
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  void* FastState() override { return &fast_; }
+  uint64_t StateDigest() const override;
+
+  size_t PartialCount() const { return partial_.size(); }
+
+ private:
+  struct Partial {
+    std::vector<Iovec> pieces;
+    uint16_t received = 0;
+  };
+  // Key: origin rank (or ~dest for sends we originated — unused on receive),
+  // message id.
+  using Key = std::pair<Rank, uint32_t>;
+
+  void Fragment(Event ev, EventSink& sink);
+  void Reassemble(Event ev, const FragHeader& hdr, EventSink& sink);
+
+  FragFast fast_;
+  std::map<Key, Partial> partial_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_FRAG_H_

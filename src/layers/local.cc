@@ -1,0 +1,31 @@
+#include "src/layers/local.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_LAYER(LayerId::kLocal, LocalLayer);
+
+void LocalLayer::Dn(Event ev, EventSink& sink) {
+  if (ev.type == EventType::kCast && fast_.loopback) {
+    // Split: the cast continues down; a self-delivery goes back up.  The
+    // copy carries the headers the layers above us already pushed, so they
+    // can pop them on the way up exactly as a remote receiver would.
+    Event self = Event::DeliverCast(rank_, ev.payload);
+    self.hdrs = ev.hdrs;
+    sink.PassDn(std::move(ev));
+    sink.PassUp(std::move(self));
+    return;
+  }
+  if (ev.type == EventType::kView) {
+    NoteView(ev);
+  }
+  sink.PassDn(std::move(ev));
+}
+
+void LocalLayer::Up(Event ev, EventSink& sink) {
+  if (ev.type == EventType::kInit) {
+    NoteView(ev);
+  }
+  sink.PassUp(std::move(ev));
+}
+
+}  // namespace ensemble

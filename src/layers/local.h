@@ -1,0 +1,36 @@
+// local — self-delivery of the member's own multicasts.
+//
+// A down-going cast continues down the stack unchanged AND (when loopback is
+// enabled) a copy is delivered back up at this point — the paper's "trace
+// splitting" composition shape ("message events that cause several events to
+// be emitted from a layer").  The layers above `local` (e.g. total ordering)
+// therefore see the member's own casts exactly like everyone else's.
+
+#ifndef ENSEMBLE_SRC_LAYERS_LOCAL_H_
+#define ENSEMBLE_SRC_LAYERS_LOCAL_H_
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+struct LocalFast {
+  uint8_t loopback = 1;
+};
+
+class LocalLayer : public Layer {
+ public:
+  explicit LocalLayer(const LayerParams& params) : Layer(LayerId::kLocal) {
+    fast_.loopback = params.local_loopback ? 1 : 0;
+  }
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  void* FastState() override { return &fast_; }
+
+ private:
+  LocalFast fast_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_LOCAL_H_

@@ -1,0 +1,218 @@
+#include "src/layers/mnak.h"
+
+#include "src/marshal/header_desc.h"
+#include "src/util/hash.h"
+#include "src/util/logging.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_HEADER(MnakHeader, LayerId::kMnak, ENS_FIELD(MnakHeader, kU8, kind),
+                         ENS_FIELD(MnakHeader, kU32, seqno), ENS_FIELD(MnakHeader, kU32, lo),
+                         ENS_FIELD(MnakHeader, kU32, hi));
+ENSEMBLE_REGISTER_LAYER(LayerId::kMnak, MnakLayer);
+
+MnakLayer::PeerState& MnakLayer::Peer(Rank origin) { return peers_[origin]; }
+
+Seqno MnakLayer::Expected(Rank origin) { return Peer(origin).window.low(); }
+
+bool MnakLayer::NoBacklog(Rank origin) {
+  PeerState& p = Peer(origin);
+  return p.backlog.empty() && !p.window.HasHoles() && p.window.high() == p.window.low();
+}
+
+void MnakLayer::FastReceive(Rank origin, Seqno seqno) {
+  PeerState& p = Peer(origin);
+  ENS_CHECK(p.window.low() == seqno);
+  p.window.Mark(seqno);
+  p.window.SlideOne();
+}
+
+void MnakLayer::SaveSent(Seqno seqno, const Event& ev) {
+  MnakSavedMsg saved;
+  saved.payload = ev.payload;
+  saved.upper_hdrs = ev.hdrs;  // Headers of the layers above us (ours not yet pushed).
+  sent_.emplace(seqno, std::move(saved));
+}
+
+void MnakLayer::Dn(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kCast: {
+      uint32_t seqno = fast_.send_seqno++;
+      SaveSent(seqno, ev);
+      ev.hdrs.Push(LayerId::kMnak, MnakHeader{kMnakData, seqno, 0, 0});
+      sink.PassDn(std::move(ev));
+      return;
+    }
+    case EventType::kSend: {
+      // Upper-layer point-to-point traffic passes through with a pass header.
+      ev.hdrs.Push(LayerId::kMnak, MnakHeader{kMnakPass, 0, 0, 0});
+      sink.PassDn(std::move(ev));
+      return;
+    }
+    case EventType::kTimer:
+      SendNaks(sink);
+      AdvertiseWatermark(sink);
+      sink.PassDn(std::move(ev));
+      return;
+    case EventType::kStable: {
+      // Stability vector from the collect layer: my casts below vec[rank_]
+      // are delivered everywhere; prune the retransmission buffer.
+      if (rank_ != kNoRank && static_cast<size_t>(rank_) < ev.vec.size()) {
+        Seqno stable = ev.vec[static_cast<size_t>(rank_)];
+        sent_.erase(sent_.begin(), sent_.lower_bound(stable));
+      }
+      sink.PassDn(std::move(ev));
+      return;
+    }
+    case EventType::kView:
+      NoteView(ev);
+      ResetForView();
+      sink.PassDn(std::move(ev));
+      return;
+    default:
+      sink.PassDn(std::move(ev));
+      return;
+  }
+}
+
+void MnakLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kDeliverCast: {
+      MnakHeader hdr = ev.hdrs.Pop<MnakHeader>(LayerId::kMnak);
+      if (hdr.kind == kMnakHi) {
+        Peer(ev.origin).window.ExtendTo(hdr.seqno);
+        return;
+      }
+      ENS_CHECK(hdr.kind == kMnakData);
+      Rank origin = ev.origin;
+      PeerState& p = Peer(origin);
+      if (!p.window.Mark(hdr.seqno)) {
+        return;  // Duplicate.
+      }
+      ev.seq_hint = hdr.seqno;  // Stability accounting rides with the event.
+      p.backlog.emplace(hdr.seqno, std::move(ev));
+      DeliverInOrder(origin, sink);
+      return;
+    }
+    case EventType::kDeliverSend: {
+      MnakHeader hdr = ev.hdrs.Pop<MnakHeader>(LayerId::kMnak);
+      switch (hdr.kind) {
+        case kMnakPass:
+          sink.PassUp(std::move(ev));
+          return;
+        case kMnakNak:
+          HandleNak(ev.origin, hdr.lo, hdr.hi, sink);
+          return;
+        case kMnakRetrans: {
+          // A retransmission of the sender's own cast: treat as cast data.
+          Rank origin = ev.origin;
+          PeerState& p = Peer(origin);
+          if (!p.window.Mark(hdr.seqno)) {
+            return;  // Already have it.
+          }
+          Event cast = std::move(ev);
+          cast.type = EventType::kDeliverCast;
+          cast.seq_hint = hdr.seqno;
+          p.backlog.emplace(hdr.seqno, std::move(cast));
+          DeliverInOrder(origin, sink);
+          return;
+        }
+        default:
+          ENS_CHECK_MSG(false, "mnak: bad kind " << int(hdr.kind));
+          return;
+      }
+    }
+    case EventType::kInit:
+      NoteView(ev);
+      ResetForView();
+      sink.PassUp(std::move(ev));
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+void MnakLayer::DeliverInOrder(Rank origin, EventSink& sink) {
+  PeerState& p = Peer(origin);
+  while (!p.backlog.empty()) {
+    auto it = p.backlog.begin();
+    if (it->first != p.window.low()) {
+      break;
+    }
+    Event ev = std::move(it->second);
+    p.backlog.erase(it);
+    p.window.SlideOne();
+    sink.PassUp(std::move(ev));
+  }
+}
+
+void MnakLayer::AdvertiseWatermark(EventSink& sink) {
+  // Re-advertise while our watermark is news or while any of our casts might
+  // still need retransmission (the buffer empties as stability advances).
+  if (fast_.send_seqno == 0 || (advertised_ == fast_.send_seqno && sent_.empty())) {
+    return;
+  }
+  advertised_ = fast_.send_seqno;
+  Event hi = Event::Send(kNoRank, Iovec());
+  hi.type = EventType::kCast;
+  hi.hdrs.Push(LayerId::kMnak, MnakHeader{kMnakHi, fast_.send_seqno, 0, 0});
+  sink.PassDn(std::move(hi));
+}
+
+void MnakLayer::SendNaks(EventSink& sink) {
+  for (auto& [origin, p] : peers_) {
+    std::vector<Seqno> holes = p.window.Holes();
+    if (holes.empty()) {
+      continue;
+    }
+    // Collapse into one range per contiguous run.
+    size_t i = 0;
+    while (i < holes.size()) {
+      size_t j = i;
+      while (j + 1 < holes.size() && holes[j + 1] == holes[j] + 1) {
+        j++;
+      }
+      Event nak = Event::Send(origin, Iovec());
+      nak.hdrs.Push(LayerId::kMnak,
+                    MnakHeader{kMnakNak, 0, static_cast<uint32_t>(holes[i]),
+                               static_cast<uint32_t>(holes[j] + 1)});
+      sink.PassDn(std::move(nak));
+      i = j + 1;
+    }
+  }
+}
+
+void MnakLayer::HandleNak(Rank from, uint32_t lo, uint32_t hi, EventSink& sink) {
+  for (uint32_t s = lo; s < hi; s++) {
+    auto it = sent_.find(s);
+    if (it == sent_.end()) {
+      continue;  // Pruned as stable (requester will learn via stability) or never sent.
+    }
+    Event re = Event::Send(from, it->second.payload);
+    re.hdrs = it->second.upper_hdrs;
+    re.hdrs.Push(LayerId::kMnak, MnakHeader{kMnakRetrans, s, 0, 0});
+    sink.PassDn(std::move(re));
+  }
+}
+
+void MnakLayer::ResetForView() {
+  fast_.send_seqno = 0;
+  advertised_ = 0;
+  peers_.clear();
+  sent_.clear();
+}
+
+uint64_t MnakLayer::StateDigest() const {
+  uint64_t h = kFnvOffset;
+  h = FnvMixU64(h, fast_.send_seqno);
+  for (const auto& [r, p] : peers_) {
+    h = FnvMixU64(h, static_cast<uint64_t>(r));
+    h = FnvMixU64(h, p.window.low());
+    h = FnvMixU64(h, p.backlog.size());
+  }
+  h = FnvMixU64(h, sent_.size());
+  return h;
+}
+
+}  // namespace ensemble

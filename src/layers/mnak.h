@@ -1,0 +1,104 @@
+// mnak — reliable FIFO multicast using negative acknowledgements.
+//
+// Each member numbers its casts; receivers deliver in per-sender sequence
+// order, buffer out-of-order arrivals, and request retransmission of holes
+// with NAK messages (sent point-to-point to the original sender, who keeps a
+// retransmission buffer of its own casts until they are reported stable).
+//
+// The paper's running CCP example is this layer's up path: "a CCP may be true
+// if the event is a Deliver event, and the low end of the receiver's sliding
+// window is equal to the sequence number in the event ... that message may be
+// delivered and the low end of the window moved up, without a need for
+// buffering."
+
+#ifndef ENSEMBLE_SRC_LAYERS_MNAK_H_
+#define ENSEMBLE_SRC_LAYERS_MNAK_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/stack/layer.h"
+#include "src/util/seqwin.h"
+
+namespace ensemble {
+
+struct MnakHeader {
+  uint8_t kind;    // MnakKind below.
+  uint32_t seqno;  // Data/Retrans: cast sequence number of the origin.
+  uint32_t lo;     // Nak: first missing seqno.
+  uint32_t hi;     // Nak: one past the last missing seqno.
+};
+
+enum MnakKind : uint8_t {
+  kMnakData = 0,
+  kMnakPass = 1,     // A point-to-point message of an upper layer passing by.
+  kMnakNak = 2,      // NAK for [lo, hi) of the destination's casts.
+  kMnakRetrans = 3,  // Retransmission of the sender's own cast `seqno`.
+  kMnakHi = 4,       // Send-watermark advertisement: "I have cast [0, seqno)".
+};
+
+// A buffered message: payload plus the headers of the layers above mnak,
+// exactly as they were when the message passed down (retransmissions must
+// reproduce them).
+struct MnakSavedMsg {
+  Iovec payload;
+  HeaderStack upper_hdrs;
+};
+
+// Hot state shared with the compiled bypass.  Per-sender receive windows live
+// in the cold part; the bypass only needs the single-peer fast path data,
+// which it reaches through the pointers below.
+struct MnakFast {
+  uint32_t send_seqno = 0;  // Next seqno for my own casts.
+  // Owned by MnakLayer; the bypass updates receive windows through this.
+  class MnakLayer* self = nullptr;
+};
+
+class MnakLayer : public Layer {
+ public:
+  explicit MnakLayer(const LayerParams& params) : Layer(LayerId::kMnak) {
+    fast_.self = this;
+  }
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  void* FastState() override { return &fast_; }
+  uint64_t StateDigest() const override;
+
+  // --- accessors used by the bypass rules and tests ---
+  MnakFast& fast() { return fast_; }
+  // Next expected seqno from `origin`; creates the window lazily.
+  Seqno Expected(Rank origin);
+  // True when nothing from `origin` is buffered out of order.
+  bool NoBacklog(Rank origin);
+  // Fast-path receive bookkeeping: advance the window past `seqno`
+  // (which must equal Expected(origin)).
+  void FastReceive(Rank origin, Seqno seqno);
+  // Fast-path send bookkeeping: save a sent cast for retransmission.
+  void SaveSent(Seqno seqno, const Event& ev);
+
+  size_t retrans_buffer_size() const { return sent_.size(); }
+
+ private:
+  struct PeerState {
+    SeqWindow window;
+    std::map<Seqno, Event> backlog;  // Out-of-order arrivals awaiting holes.
+  };
+
+  PeerState& Peer(Rank origin);
+  void DeliverInOrder(Rank origin, EventSink& sink);
+  void SendNaks(EventSink& sink);
+  void AdvertiseWatermark(EventSink& sink);
+  void HandleNak(Rank from, uint32_t lo, uint32_t hi, EventSink& sink);
+  void ResetForView();
+
+  MnakFast fast_;
+  std::map<Rank, PeerState> peers_;
+  std::map<Seqno, MnakSavedMsg> sent_;  // My own casts, for retransmission.
+  uint32_t advertised_ = 0;             // Watermark last announced via kMnakHi.
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_MNAK_H_

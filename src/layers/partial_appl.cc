@@ -1,0 +1,79 @@
+#include "src/layers/partial_appl.h"
+
+#include "src/util/hash.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_LAYER(LayerId::kPartialAppl, PartialApplLayer);
+
+void PartialApplLayer::Dn(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kCast:
+    case EventType::kSend:
+      if (fast_.blocked) {
+        queued_.push_back(std::move(ev));
+        return;
+      }
+      sink.PassDn(std::move(ev));
+      fast_.casts++;  // Deferred bookkeeping: after the critical pass-down.
+      return;
+    case EventType::kBlockOk:
+      fast_.blocked = 1;
+      sink.PassDn(std::move(ev));
+      return;
+    case EventType::kView:
+      NoteView(ev);
+      sink.PassDn(std::move(ev));
+      return;
+    default:
+      sink.PassDn(std::move(ev));
+      return;
+  }
+}
+
+void PartialApplLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kDeliverCast:
+    case EventType::kDeliverSend:
+      sink.PassUp(std::move(ev));
+      fast_.delivered++;  // Deferred bookkeeping.
+      return;
+    case EventType::kBlock:
+      // Tell the application, and (conservatively) agree on its behalf; a
+      // real application can also send its own kBlockOk down.
+      fast_.blocked = 1;
+      sink.PassUp(std::move(ev));
+      sink.PassDn(Event::OfType(EventType::kBlockOk));
+      return;
+    case EventType::kView: {
+      NoteView(ev);
+      fast_.blocked = 0;
+      sink.PassUp(std::move(ev));
+      // Release casts queued during the flush into the new view.
+      while (!queued_.empty()) {
+        Event q = std::move(queued_.front());
+        queued_.pop_front();
+        sink.PassDn(std::move(q));
+      }
+      return;
+    }
+    case EventType::kInit:
+      NoteView(ev);
+      sink.PassUp(std::move(ev));
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+uint64_t PartialApplLayer::StateDigest() const {
+  uint64_t h = kFnvOffset;
+  h = FnvMixU64(h, fast_.blocked);
+  h = FnvMixU64(h, fast_.casts);
+  h = FnvMixU64(h, fast_.delivered);
+  h = FnvMixU64(h, queued_.size());
+  return h;
+}
+
+}  // namespace ensemble

@@ -1,0 +1,47 @@
+// partial_appl — the application interface adaptor.
+//
+// Sits at the very top of the big stacks: queues application casts while the
+// stack is blocked for a view change (so the application never has to stop
+// calling Cast), releases them after the new view is installed, and answers
+// kBlock with kBlockOk on the application's behalf when the application has
+// no unfinished work.  This is also where Ensemble "delays non-critical
+// message processing" (paper §4 optimization 3): delivery bookkeeping
+// (delivery counters) is updated after the event has been passed on, keeping
+// it off the critical path.
+
+#ifndef ENSEMBLE_SRC_LAYERS_PARTIAL_APPL_H_
+#define ENSEMBLE_SRC_LAYERS_PARTIAL_APPL_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+struct PartialApplFast {
+  uint8_t blocked = 0;
+  uint64_t casts = 0;      // Casts sent (bookkeeping, off critical path).
+  uint64_t delivered = 0;  // Messages delivered.
+};
+
+class PartialApplLayer : public Layer {
+ public:
+  explicit PartialApplLayer(const LayerParams& params) : Layer(LayerId::kPartialAppl) {}
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  void* FastState() override { return &fast_; }
+  uint64_t StateDigest() const override;
+
+  const PartialApplFast& fast() const { return fast_; }
+  size_t QueuedWhileBlocked() const { return queued_.size(); }
+
+ private:
+  PartialApplFast fast_;
+  std::deque<Event> queued_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_PARTIAL_APPL_H_

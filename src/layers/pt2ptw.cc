@@ -1,0 +1,117 @@
+#include "src/layers/pt2ptw.h"
+
+#include <algorithm>
+
+#include "src/marshal/header_desc.h"
+#include "src/util/hash.h"
+#include "src/util/logging.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_HEADER(Pt2ptwHeader, LayerId::kPt2ptw, ENS_FIELD(Pt2ptwHeader, kU8, kind),
+                         ENS_FIELD(Pt2ptwHeader, kU32, credits));
+ENSEMBLE_REGISTER_LAYER(LayerId::kPt2ptw, Pt2ptwLayer);
+
+void Pt2ptwLayer::Dn(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kSend: {
+      PeerState& p = peers_[ev.dest];
+      if (p.sent >= p.granted_to_me) {
+        p.pending.push_back(std::move(ev));
+        return;
+      }
+      p.sent++;
+      ev.hdrs.Push(LayerId::kPt2ptw, Pt2ptwHeader{kPt2ptwData, 0});
+      sink.PassDn(std::move(ev));
+      return;
+    }
+    case EventType::kView:
+      NoteView(ev);
+      ResetForView();
+      sink.PassDn(std::move(ev));
+      return;
+    default:
+      sink.PassDn(std::move(ev));
+      return;
+  }
+}
+
+void Pt2ptwLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kDeliverSend: {
+      Pt2ptwHeader hdr = ev.hdrs.Pop<Pt2ptwHeader>(LayerId::kPt2ptw);
+      if (hdr.kind == kPt2ptwCredit) {
+        PeerState& p = peers_[ev.origin];
+        p.granted_to_me = std::max(p.granted_to_me, hdr.credits);
+        FlushPending(ev.origin, sink);
+        return;
+      }
+      ENS_CHECK(hdr.kind == kPt2ptwData);
+      Rank origin = ev.origin;
+      PeerState& p = peers_[origin];
+      p.consumed++;
+      sink.PassUp(std::move(ev));
+      if (p.consumed % (window_ / 2) == 0) {
+        p.granted = p.consumed + window_;
+        Event grant = Event::Send(origin, Iovec());
+        grant.hdrs.Push(LayerId::kPt2ptw, Pt2ptwHeader{kPt2ptwCredit, p.granted});
+        sink.PassDn(std::move(grant));
+      }
+      return;
+    }
+    case EventType::kInit:
+      NoteView(ev);
+      ResetForView();
+      sink.PassUp(std::move(ev));
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+void Pt2ptwLayer::FlushPending(Rank dest, EventSink& sink) {
+  PeerState& p = peers_[dest];
+  while (!p.pending.empty() && p.sent < p.granted_to_me) {
+    Event ev = std::move(p.pending.front());
+    p.pending.pop_front();
+    p.sent++;
+    ev.hdrs.Push(LayerId::kPt2ptw, Pt2ptwHeader{kPt2ptwData, 0});
+    sink.PassDn(std::move(ev));
+  }
+}
+
+void Pt2ptwLayer::ResetForView() {
+  std::map<Rank, PeerState> fresh;
+  // Pending sends survive; counters restart with a full window.
+  if (view_) {
+    for (Rank r = 0; r < nmembers_; r++) {
+      if (r == rank_) {
+        continue;
+      }
+      PeerState p;
+      p.granted_to_me = window_;
+      p.granted = window_;
+      auto it = peers_.find(r);
+      if (it != peers_.end()) {
+        p.pending = std::move(it->second.pending);
+      }
+      fresh.emplace(r, std::move(p));
+    }
+  }
+  peers_ = std::move(fresh);
+}
+
+uint64_t Pt2ptwLayer::StateDigest() const {
+  uint64_t h = kFnvOffset;
+  for (const auto& [r, p] : peers_) {
+    h = FnvMixU64(h, static_cast<uint64_t>(r));
+    h = FnvMixU64(h, p.sent);
+    h = FnvMixU64(h, p.granted_to_me);
+    h = FnvMixU64(h, p.consumed);
+    h = FnvMixU64(h, p.pending.size());
+  }
+  return h;
+}
+
+}  // namespace ensemble

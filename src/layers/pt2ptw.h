@@ -1,0 +1,82 @@
+// pt2ptw — point-to-point window flow control.
+//
+// The point-to-point counterpart of mflow: at most `window` unacknowledged
+// sends outstanding per destination; the receiver grants more credit after
+// consuming half a window.  Casts pass through untouched.
+
+#ifndef ENSEMBLE_SRC_LAYERS_PT2PTW_H_
+#define ENSEMBLE_SRC_LAYERS_PT2PTW_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+struct Pt2ptwHeader {
+  uint8_t kind;      // Pt2ptwKind.
+  uint32_t credits;  // Credit: new cumulative grant total.
+};
+
+enum Pt2ptwKind : uint8_t {
+  kPt2ptwData = 0,
+  kPt2ptwCredit = 1,
+};
+
+struct Pt2ptwFast {
+  class Pt2ptwLayer* self = nullptr;
+};
+
+class Pt2ptwLayer : public Layer {
+ public:
+  explicit Pt2ptwLayer(const LayerParams& params)
+      : Layer(LayerId::kPt2ptw), window_(params.pt2pt_window) {
+    fast_.self = this;
+  }
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  void* FastState() override { return &fast_; }
+  uint64_t StateDigest() const override;
+
+  bool HasCredit(Rank dest) {
+    PeerState& p = peers_[dest];
+    return p.sent < p.granted_to_me;
+  }
+  // Bypass hooks: consume one send credit / one receive slot.
+  void FastSendConsume(Rank dest) { peers_[dest].sent++; }
+  bool NoGrantDue(Rank origin) {
+    PeerState& p = peers_[origin];
+    return (p.consumed + 1) % (window_ / 2) != 0;
+  }
+  void FastConsume(Rank origin) { peers_[origin].consumed++; }
+  size_t QueuedSends() const {
+    size_t n = 0;
+    for (const auto& [r, p] : peers_) {
+      n += p.pending.size();
+    }
+    return n;
+  }
+
+ private:
+  struct PeerState {
+    uint32_t sent = 0;
+    uint32_t granted_to_me = 0;
+    uint32_t consumed = 0;
+    uint32_t granted = 0;
+    std::deque<Event> pending;
+  };
+
+  void FlushPending(Rank dest, EventSink& sink);
+  void ResetForView();
+
+  Pt2ptwFast fast_;
+  uint32_t window_;
+  std::map<Rank, PeerState> peers_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_PT2PTW_H_

@@ -1,0 +1,59 @@
+#include "src/layers/sign.h"
+
+#include "src/marshal/header_desc.h"
+#include "src/util/hash.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_HEADER(SignHeader, LayerId::kSign, ENS_FIELD(SignHeader, kU64, mac));
+ENSEMBLE_REGISTER_LAYER(LayerId::kSign, SignLayer);
+
+uint64_t SignLayer::Mac(const Iovec& payload) const {
+  uint64_t h = FnvMixU64(kFnvOffset, key_);
+  for (size_t i = 0; i < payload.part_count(); i++) {
+    const Bytes& b = payload.part(i);
+    h = FnvMix(h, b.data(), b.size());
+  }
+  return h;
+}
+
+void SignLayer::Dn(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kCast:
+    case EventType::kSend:
+      ev.hdrs.Push(LayerId::kSign, SignHeader{Mac(ev.payload)});
+      sink.PassDn(std::move(ev));
+      return;
+    case EventType::kView:
+      NoteView(ev);
+      sink.PassDn(std::move(ev));
+      return;
+    default:
+      sink.PassDn(std::move(ev));
+      return;
+  }
+}
+
+void SignLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kDeliverCast:
+    case EventType::kDeliverSend: {
+      SignHeader hdr = ev.hdrs.Pop<SignHeader>(LayerId::kSign);
+      if (hdr.mac != Mac(ev.payload)) {
+        rejected_++;
+        return;
+      }
+      sink.PassUp(std::move(ev));
+      return;
+    }
+    case EventType::kInit:
+      NoteView(ev);
+      sink.PassUp(std::move(ev));
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+}  // namespace ensemble

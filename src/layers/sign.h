@@ -1,0 +1,39 @@
+// sign — payload integrity.
+//
+// Appends a keyed 64-bit FNV MAC over the payload; receivers verify and
+// silently drop (and count) messages whose MAC does not match.  Toy-strength
+// like encrypt — the layering pattern is the point.
+
+#ifndef ENSEMBLE_SRC_LAYERS_SIGN_H_
+#define ENSEMBLE_SRC_LAYERS_SIGN_H_
+
+#include <cstdint>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+struct SignHeader {
+  uint64_t mac;
+};
+
+class SignLayer : public Layer {
+ public:
+  explicit SignLayer(const LayerParams& params) : Layer(LayerId::kSign) {}
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+
+  void SetKey(uint64_t key) { key_ = key; }
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  uint64_t Mac(const Iovec& payload) const;
+
+  uint64_t key_ = 0x51617EDull;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_SIGN_H_

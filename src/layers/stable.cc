@@ -1,0 +1,55 @@
+#include "src/layers/stable.h"
+
+#include <algorithm>
+
+#include "src/util/hash.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_LAYER(LayerId::kStable, StableLayer);
+
+uint64_t StableLayer::GlobalMin() const {
+  if (stable_.empty()) {
+    return 0;
+  }
+  return *std::min_element(stable_.begin(), stable_.end());
+}
+
+void StableLayer::Dn(Event ev, EventSink& sink) {
+  if (ev.type == EventType::kView) {
+    NoteView(ev);
+    stable_.clear();
+  }
+  sink.PassDn(std::move(ev));
+}
+
+void StableLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kStable:
+      if (ev.vec == stable_) {
+        return;  // No news; consolidate away the repeat.
+      }
+      stable_ = ev.vec;
+      sink.PassUp(std::move(ev));
+      return;
+    case EventType::kInit:
+    case EventType::kView:
+      NoteView(ev);
+      stable_.clear();
+      sink.PassUp(std::move(ev));
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+uint64_t StableLayer::StateDigest() const {
+  uint64_t h = kFnvOffset;
+  for (uint64_t s : stable_) {
+    h = FnvMixU64(h, s);
+  }
+  return h;
+}
+
+}  // namespace ensemble

@@ -1,0 +1,35 @@
+// stable — stability consolidation.
+//
+// Sits above collect: remembers the latest stability vector, deduplicates
+// repeats, and exposes the group-wide minimum to the application and upper
+// layers as consolidated kStable events.
+
+#ifndef ENSEMBLE_SRC_LAYERS_STABLE_H_
+#define ENSEMBLE_SRC_LAYERS_STABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+class StableLayer : public Layer {
+ public:
+  explicit StableLayer(const LayerParams& params) : Layer(LayerId::kStable) {}
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  uint64_t StateDigest() const override;
+
+  const std::vector<uint64_t>& vector() const { return stable_; }
+  // Smallest stable sequence number across all senders.
+  uint64_t GlobalMin() const;
+
+ private:
+  std::vector<uint64_t> stable_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_STABLE_H_

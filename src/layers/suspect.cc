@@ -1,0 +1,92 @@
+#include "src/layers/suspect.h"
+
+#include "src/marshal/header_desc.h"
+#include "src/util/hash.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_HEADER(SuspectHeader, LayerId::kSuspect, ENS_FIELD(SuspectHeader, kU8, kind));
+ENSEMBLE_REGISTER_LAYER(LayerId::kSuspect, SuspectLayer);
+
+void SuspectLayer::Dn(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kCast:
+      ev.hdrs.Push(LayerId::kSuspect, SuspectHeader{kSuspectData});
+      sink.PassDn(std::move(ev));
+      return;
+    case EventType::kTimer: {
+      // Heartbeat every tick (the harness chooses the tick period).
+      Event hb = Event::Cast(Iovec());
+      hb.hdrs.Push(LayerId::kSuspect, SuspectHeader{kSuspectHeartbeat});
+      sink.PassDn(std::move(hb));
+      for (Rank r = 0; r < static_cast<Rank>(idle_.size()); r++) {
+        if (r == rank_) {
+          continue;
+        }
+        idle_[static_cast<size_t>(r)]++;
+        if (idle_[static_cast<size_t>(r)] > max_idle_ && suspected_.insert(r).second) {
+          Event sus = Event::OfType(EventType::kSuspect);
+          sus.origin = r;
+          sink.PassUp(std::move(sus));
+        }
+      }
+      sink.PassDn(std::move(ev));
+      return;
+    }
+    case EventType::kView:
+      NoteView(ev);
+      ResetForView();
+      sink.PassDn(std::move(ev));
+      return;
+    default:
+      sink.PassDn(std::move(ev));
+      return;
+  }
+}
+
+void SuspectLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kDeliverCast: {
+      SuspectHeader hdr = ev.hdrs.Pop<SuspectHeader>(LayerId::kSuspect);
+      if (ev.origin >= 0 && static_cast<size_t>(ev.origin) < idle_.size()) {
+        idle_[static_cast<size_t>(ev.origin)] = 0;
+      }
+      if (hdr.kind == kSuspectHeartbeat) {
+        return;  // Consumed here.
+      }
+      sink.PassUp(std::move(ev));
+      return;
+    }
+    case EventType::kDeliverSend:
+      // No header of ours on sends, but hearing from the peer still counts.
+      if (ev.origin >= 0 && static_cast<size_t>(ev.origin) < idle_.size()) {
+        idle_[static_cast<size_t>(ev.origin)] = 0;
+      }
+      sink.PassUp(std::move(ev));
+      return;
+    case EventType::kInit:
+      NoteView(ev);
+      ResetForView();
+      sink.PassUp(std::move(ev));
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+void SuspectLayer::ResetForView() {
+  idle_.assign(view_ ? static_cast<size_t>(nmembers_) : 0, 0);
+  suspected_.clear();
+}
+
+uint64_t SuspectLayer::StateDigest() const {
+  uint64_t h = kFnvOffset;
+  for (uint32_t i : idle_) {
+    h = FnvMixU64(h, i);
+  }
+  h = FnvMixU64(h, suspected_.size());
+  return h;
+}
+
+}  // namespace ensemble

@@ -1,0 +1,49 @@
+// suspect — heartbeat failure detection.
+//
+// Casts a heartbeat every few timer ticks and counts ticks since each peer
+// was last heard from (any traffic counts).  Peers idle longer than
+// `suspect_max_idle` ticks are announced upward with kSuspect events, which
+// the election and membership layers act on.
+
+#ifndef ENSEMBLE_SRC_LAYERS_SUSPECT_H_
+#define ENSEMBLE_SRC_LAYERS_SUSPECT_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+struct SuspectHeader {
+  uint8_t kind;  // SuspectKind.
+};
+
+enum SuspectKind : uint8_t {
+  kSuspectData = 0,
+  kSuspectHeartbeat = 1,
+};
+
+class SuspectLayer : public Layer {
+ public:
+  explicit SuspectLayer(const LayerParams& params)
+      : Layer(LayerId::kSuspect), max_idle_(params.suspect_max_idle) {}
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  uint64_t StateDigest() const override;
+
+  const std::set<Rank>& suspected() const { return suspected_; }
+
+ private:
+  void ResetForView();
+
+  uint32_t max_idle_;
+  std::vector<uint32_t> idle_;  // Ticks since each rank was heard from.
+  std::set<Rank> suspected_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_SUSPECT_H_

@@ -1,0 +1,111 @@
+#include "src/layers/sync.h"
+
+#include "src/marshal/header_desc.h"
+#include "src/util/hash.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_HEADER(SyncHeader, LayerId::kSync, ENS_FIELD(SyncHeader, kU8, kind));
+ENSEMBLE_REGISTER_LAYER(LayerId::kSync, SyncLayer);
+
+void SyncLayer::Dn(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kCast:
+      ev.hdrs.Push(LayerId::kSync, SyncHeader{kSyncPassCast});
+      sink.PassDn(std::move(ev));
+      return;
+    case EventType::kSend:
+      ev.hdrs.Push(LayerId::kSync, SyncHeader{kSyncPassSend});
+      sink.PassDn(std::move(ev));
+      return;
+    case EventType::kBlock: {
+      // The coordinator's intra layer starts the flush.
+      in_flush_ = true;
+      flush_coord_ = rank_;
+      replied_ = false;
+      Event block = Event::Cast(Iovec());
+      block.hdrs.Push(LayerId::kSync, SyncHeader{kSyncBlock});
+      sink.PassDn(std::move(block));
+      // The coordinator's own stack must block and reply too.
+      sink.PassUp(Event::OfType(EventType::kBlock));
+      return;
+    }
+    case EventType::kBlockOk: {
+      // The layers above agree to block.  Repeats (several upper layers may
+      // answer) are consumed; agreement outside a flush is meaningless.
+      if (!in_flush_ || replied_) {
+        return;
+      }
+      replied_ = true;
+      if (flush_coord_ == rank_) {
+        // Coordinator's own reply short-circuits upward.
+        Event ok = Event::OfType(EventType::kBlockOk);
+        ok.origin = rank_;
+        sink.PassUp(std::move(ok));
+      } else {
+        Event ok = Event::Send(flush_coord_, Iovec());
+        ok.hdrs.Push(LayerId::kSync, SyncHeader{kSyncBlockOk});
+        sink.PassDn(std::move(ok));
+      }
+      return;
+    }
+    case EventType::kView:
+      NoteView(ev);
+      in_flush_ = false;
+      flush_coord_ = kNoRank;
+      replied_ = false;
+      sink.PassDn(std::move(ev));
+      return;
+    default:
+      sink.PassDn(std::move(ev));
+      return;
+  }
+}
+
+void SyncLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kDeliverCast: {
+      SyncHeader hdr = ev.hdrs.Pop<SyncHeader>(LayerId::kSync);
+      if (hdr.kind == kSyncBlock) {
+        in_flush_ = true;
+        flush_coord_ = ev.origin;
+        replied_ = false;
+        sink.PassUp(Event::OfType(EventType::kBlock));
+        return;
+      }
+      sink.PassUp(std::move(ev));
+      return;
+    }
+    case EventType::kDeliverSend: {
+      SyncHeader hdr = ev.hdrs.Pop<SyncHeader>(LayerId::kSync);
+      if (hdr.kind == kSyncBlockOk) {
+        Event ok = Event::OfType(EventType::kBlockOk);
+        ok.origin = ev.origin;
+        sink.PassUp(std::move(ok));
+        return;
+      }
+      sink.PassUp(std::move(ev));
+      return;
+    }
+    case EventType::kInit:
+      NoteView(ev);
+      in_flush_ = false;
+      flush_coord_ = kNoRank;
+      replied_ = false;
+      sink.PassUp(std::move(ev));
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+uint64_t SyncLayer::StateDigest() const {
+  uint64_t h = kFnvOffset;
+  h = FnvMixU64(h, in_flush_);
+  h = FnvMixU64(h, static_cast<uint64_t>(flush_coord_));
+  h = FnvMixU64(h, replied_);
+  return h;
+}
+
+}  // namespace ensemble

@@ -1,0 +1,49 @@
+// sync — view-change flush (the Block / BlockOk dance).
+//
+// The coordinator's membership layer (intra, above) sends kBlock down; sync
+// broadcasts a Block message.  Every member's sync answers a received Block
+// by announcing kBlock upward (the application and partial_appl stop
+// sending) and, once the layers above reply with kBlockOk, reports BlockOk
+// to the flush coordinator.  The coordinator's sync converts each BlockOk —
+// including its own — into a kBlockOk event travelling up with the
+// responder's rank, which intra counts.
+
+#ifndef ENSEMBLE_SRC_LAYERS_SYNC_H_
+#define ENSEMBLE_SRC_LAYERS_SYNC_H_
+
+#include <cstdint>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+struct SyncHeader {
+  uint8_t kind;  // SyncKind.
+};
+
+enum SyncKind : uint8_t {
+  kSyncPassCast = 0,
+  kSyncPassSend = 1,
+  kSyncBlock = 2,
+  kSyncBlockOk = 3,
+};
+
+class SyncLayer : public Layer {
+ public:
+  explicit SyncLayer(const LayerParams& params) : Layer(LayerId::kSync) {}
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  uint64_t StateDigest() const override;
+
+  bool in_flush() const { return in_flush_; }
+
+ private:
+  bool in_flush_ = false;
+  Rank flush_coord_ = kNoRank;
+  bool replied_ = false;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_SYNC_H_

@@ -1,0 +1,35 @@
+#include "src/layers/top.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_LAYER(LayerId::kTop, TopLayer);
+
+void TopLayer::Dn(Event ev, EventSink& sink) {
+  if (ev.type == EventType::kView) {
+    NoteView(ev);
+  }
+  sink.PassDn(std::move(ev));
+}
+
+void TopLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kInit:
+    case EventType::kView:
+      NoteView(ev);
+      fast_.enabled = 1;
+      sink.PassUp(std::move(ev));
+      return;
+    case EventType::kBlock:
+      sink.PassUp(std::move(ev));
+      sink.PassDn(Event::OfType(EventType::kBlockOk));
+      return;
+    case EventType::kStable:
+      // Stability bookkeeping is internal; the application is not told.
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+}  // namespace ensemble

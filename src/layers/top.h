@@ -1,0 +1,31 @@
+// top — the topmost boundary layer of the small stacks.
+//
+// Swallows stray control events so nothing unexpected escapes to the
+// application, answers kBlock with kBlockOk, and passes messages through.
+
+#ifndef ENSEMBLE_SRC_LAYERS_TOP_H_
+#define ENSEMBLE_SRC_LAYERS_TOP_H_
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+struct TopFast {
+  uint8_t enabled = 0;
+};
+
+class TopLayer : public Layer {
+ public:
+  explicit TopLayer(const LayerParams& params) : Layer(LayerId::kTop) {}
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  void* FastState() override { return &fast_; }
+
+ private:
+  TopFast fast_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_TOP_H_

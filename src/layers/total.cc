@@ -1,0 +1,166 @@
+#include "src/layers/total.h"
+
+#include <algorithm>
+
+#include "src/marshal/header_desc.h"
+#include "src/util/hash.h"
+#include "src/util/logging.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_HEADER(TotalHeader, LayerId::kTotal, ENS_FIELD(TotalHeader, kU8, kind),
+                         ENS_FIELD(TotalHeader, kU32, gseq));
+ENSEMBLE_REGISTER_LAYER(LayerId::kTotal, TotalLayer);
+
+void TotalLayer::Dn(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kCast: {
+      if (fast_.HoldsToken(rank_)) {
+        ev.hdrs.Push(LayerId::kTotal, TotalHeader{kTotalData, fast_.next_gseq++});
+        sink.PassDn(std::move(ev));
+        return;
+      }
+      pending_.push_back(std::move(ev));
+      if (!token_requested_) {
+        token_requested_ = true;
+        Event req = Event::Send(fast_.token_holder, Iovec());
+        // The requester's rank rides in the gseq field so requests can be
+        // forwarded along the chain of past holders.
+        req.hdrs.Push(LayerId::kTotal,
+                      TotalHeader{kTotalTokenReq, static_cast<uint32_t>(rank_)});
+        sink.PassDn(std::move(req));
+      }
+      return;
+    }
+    case EventType::kSend:
+      ev.hdrs.Push(LayerId::kTotal, TotalHeader{kTotalPass, 0});
+      sink.PassDn(std::move(ev));
+      return;
+    case EventType::kView:
+      NoteView(ev);
+      ResetForView();
+      sink.PassDn(std::move(ev));
+      return;
+    default:
+      sink.PassDn(std::move(ev));
+      return;
+  }
+}
+
+void TotalLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kDeliverCast: {
+      TotalHeader hdr = ev.hdrs.Pop<TotalHeader>(LayerId::kTotal);
+      ENS_CHECK(hdr.kind == kTotalData);
+      if (hdr.gseq < fast_.expected_gseq) {
+        return;  // Stale duplicate (should not happen above reliable layers).
+      }
+      holdback_.emplace(hdr.gseq, std::move(ev));
+      DeliverInOrder(sink);
+      return;
+    }
+    case EventType::kDeliverSend: {
+      TotalHeader hdr = ev.hdrs.Pop<TotalHeader>(LayerId::kTotal);
+      if (hdr.kind == kTotalTokenReq) {
+        Rank requester = static_cast<Rank>(hdr.gseq);
+        if (!fast_.HoldsToken(rank_)) {
+          // We no longer hold the token: forward along our belief of who
+          // does (each hop's belief was correct when it passed the token, so
+          // the chain terminates at the current holder).
+          Event fwd = Event::Send(fast_.token_holder, Iovec());
+          fwd.hdrs.Push(LayerId::kTotal, TotalHeader{kTotalTokenReq, hdr.gseq});
+          sink.PassDn(std::move(fwd));
+          return;
+        }
+        if (std::find(token_requests_.begin(), token_requests_.end(), requester) ==
+            token_requests_.end()) {
+          token_requests_.push_back(requester);
+        }
+        MaybePassToken(sink);
+        return;
+      }
+      if (hdr.kind == kTotalTokenPass) {
+        // We now hold the token; our pending casts go out in order.
+        fast_.token_holder = rank_;
+        fast_.next_gseq = hdr.gseq;
+        token_requested_ = false;
+        while (!pending_.empty()) {
+          Event cast = std::move(pending_.front());
+          pending_.pop_front();
+          cast.hdrs.Push(LayerId::kTotal, TotalHeader{kTotalData, fast_.next_gseq++});
+          sink.PassDn(std::move(cast));
+        }
+        MaybePassToken(sink);
+        return;
+      }
+      ENS_CHECK(hdr.kind == kTotalPass);
+      sink.PassUp(std::move(ev));
+      return;
+    }
+    case EventType::kInit:
+      NoteView(ev);
+      ResetForView();
+      sink.PassUp(std::move(ev));
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+void TotalLayer::DeliverInOrder(EventSink& sink) {
+  while (!holdback_.empty() && holdback_.begin()->first == fast_.expected_gseq) {
+    Event ev = std::move(holdback_.begin()->second);
+    holdback_.erase(holdback_.begin());
+    fast_.expected_gseq++;
+    sink.PassUp(std::move(ev));
+  }
+}
+
+void TotalLayer::MaybePassToken(EventSink& sink) {
+  if (!fast_.HoldsToken(rank_) || !pending_.empty() || token_requests_.empty()) {
+    return;
+  }
+  Rank next = token_requests_.front();
+  token_requests_.pop_front();
+  if (next == rank_) {
+    MaybePassToken(sink);  // Stale self-request.
+    return;
+  }
+  fast_.token_holder = next;
+  Event pass = Event::Send(next, Iovec());
+  pass.hdrs.Push(LayerId::kTotal, TotalHeader{kTotalTokenPass, fast_.next_gseq});
+  sink.PassDn(std::move(pass));
+  // Any remaining queued requests belong to the new holder now.
+  while (!token_requests_.empty()) {
+    Rank waiting = token_requests_.front();
+    token_requests_.pop_front();
+    Event fwd = Event::Send(next, Iovec());
+    fwd.hdrs.Push(LayerId::kTotal,
+                  TotalHeader{kTotalTokenReq, static_cast<uint32_t>(waiting)});
+    sink.PassDn(std::move(fwd));
+  }
+}
+
+void TotalLayer::ResetForView() {
+  fast_.my_rank = rank_;
+  fast_.token_holder = 0;  // Rank 0 starts with the token each view.
+  fast_.next_gseq = 0;
+  fast_.expected_gseq = 0;
+  pending_.clear();
+  holdback_.clear();
+  token_requests_.clear();
+  token_requested_ = false;
+}
+
+uint64_t TotalLayer::StateDigest() const {
+  uint64_t h = kFnvOffset;
+  h = FnvMixU64(h, static_cast<uint64_t>(fast_.token_holder));
+  h = FnvMixU64(h, fast_.next_gseq);
+  h = FnvMixU64(h, fast_.expected_gseq);
+  h = FnvMixU64(h, pending_.size());
+  h = FnvMixU64(h, holdback_.size());
+  return h;
+}
+
+}  // namespace ensemble

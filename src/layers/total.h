@@ -1,0 +1,77 @@
+// total — totally ordered multicast via a movable sequencer token.
+//
+// The member holding the token stamps its casts with consecutive global
+// sequence numbers; all members deliver strictly in global order, holding
+// back early arrivals.  A member that wants to cast without the token asks
+// the holder for it (point-to-point); the holder passes the token (with the
+// next unused global number) once its own queue drains.  The common case —
+// the sender already holds the token and receivers see the next expected
+// global number — is the bypass CCP.
+//
+// A hand proof of one of Ensemble's total ordering protocols (and the subtle
+// bug it surfaced) is the §3 story; src/layers/total_buggy.* reproduces the
+// bug shape, and the spec monitors catch it.
+
+#ifndef ENSEMBLE_SRC_LAYERS_TOTAL_H_
+#define ENSEMBLE_SRC_LAYERS_TOTAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+struct TotalHeader {
+  uint8_t kind;   // TotalKind.
+  uint32_t gseq;  // Data: global sequence number; TokenPass: next unused.
+};
+
+enum TotalKind : uint8_t {
+  kTotalData = 0,
+  kTotalTokenReq = 1,
+  kTotalTokenPass = 2,
+  kTotalPass = 3,  // Upper-layer point-to-point message passing through.
+};
+
+struct TotalFast {
+  int32_t token_holder = 0;    // Rank currently holding the token.
+  uint32_t next_gseq = 0;      // Valid when we hold the token.
+  uint32_t expected_gseq = 0;  // Next global number to deliver.
+  int32_t my_rank = -1;        // Copy of the layer's rank for the bypass CCPs.
+  class TotalLayer* self = nullptr;
+
+  bool HoldsToken(Rank me) const { return token_holder == me; }
+};
+
+class TotalLayer : public Layer {
+ public:
+  explicit TotalLayer(const LayerParams& params) : Layer(LayerId::kTotal) {
+    fast_.self = this;
+  }
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  void* FastState() override { return &fast_; }
+  uint64_t StateDigest() const override;
+
+  TotalFast& fast() { return fast_; }
+  bool HoldbackEmpty() const { return holdback_.empty(); }
+  size_t PendingCasts() const { return pending_.size(); }
+
+ private:
+  void DeliverInOrder(EventSink& sink);
+  void MaybePassToken(EventSink& sink);
+  void ResetForView();
+
+  TotalFast fast_;
+  std::deque<Event> pending_;          // Our casts waiting for the token.
+  std::map<uint32_t, Event> holdback_; // Early arrivals keyed by gseq.
+  std::deque<Rank> token_requests_;    // Members waiting for the token.
+  bool token_requested_ = false;       // We already asked for the token.
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_TOTAL_H_

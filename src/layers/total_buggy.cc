@@ -1,0 +1,112 @@
+#include "src/layers/total_buggy.h"
+
+#include "src/layers/total.h"  // Shares TotalHeader and its kinds.
+#include "src/marshal/header_desc.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_LAYER(LayerId::kTotalBuggy, TotalBuggyLayer);
+
+// Reuses TotalHeader's wire layout under its own layer id.
+namespace {
+const bool ens_hdr_reg_total_buggy = [] {
+  RegisterHeaderDescriptor({LayerId::kTotalBuggy, sizeof(TotalHeader),
+                            {ENS_FIELD(TotalHeader, kU8, kind),
+                             ENS_FIELD(TotalHeader, kU32, gseq)}});
+  return true;
+}();
+}  // namespace
+
+void TotalBuggyLayer::Dn(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kCast: {
+      if (token_holder_ == rank_) {
+        ev.hdrs.Push(LayerId::kTotalBuggy, TotalHeader{kTotalData, next_gseq_++});
+        sink.PassDn(std::move(ev));
+        return;
+      }
+      pending_.push_back(std::move(ev));
+      if (!token_requested_) {
+        token_requested_ = true;
+        Event req = Event::Send(token_holder_, Iovec());
+        req.hdrs.Push(LayerId::kTotalBuggy,
+                      TotalHeader{kTotalTokenReq, static_cast<uint32_t>(rank_)});
+        sink.PassDn(std::move(req));
+      }
+      return;
+    }
+    case EventType::kSend:
+      ev.hdrs.Push(LayerId::kTotalBuggy, TotalHeader{kTotalPass, 0});
+      sink.PassDn(std::move(ev));
+      return;
+    case EventType::kView:
+      NoteView(ev);
+      token_holder_ = 0;
+      next_gseq_ = 0;
+      expected_gseq_ = 0;
+      pending_.clear();
+      token_requested_ = false;
+      sink.PassDn(std::move(ev));
+      return;
+    default:
+      sink.PassDn(std::move(ev));
+      return;
+  }
+}
+
+void TotalBuggyLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kDeliverCast: {
+      TotalHeader hdr = ev.hdrs.Pop<TotalHeader>(LayerId::kTotalBuggy);
+      // THE BUG: the correct condition is `hdr.gseq == expected_gseq_`, with
+      // early arrivals held back.  Using `>=` delivers a later message
+      // immediately when the network reorders, and the gap is skipped.
+      if (hdr.gseq >= expected_gseq_) {
+        expected_gseq_ = hdr.gseq + 1;
+        sink.PassUp(std::move(ev));
+      }
+      return;
+    }
+    case EventType::kDeliverSend: {
+      TotalHeader hdr = ev.hdrs.Pop<TotalHeader>(LayerId::kTotalBuggy);
+      if (hdr.kind == kTotalTokenReq) {
+        if (token_holder_ == rank_) {
+          Rank next = static_cast<Rank>(hdr.gseq);
+          token_holder_ = next;
+          Event pass = Event::Send(next, Iovec());
+          pass.hdrs.Push(LayerId::kTotalBuggy, TotalHeader{kTotalTokenPass, next_gseq_});
+          sink.PassDn(std::move(pass));
+        } else {
+          Event fwd = Event::Send(token_holder_, Iovec());
+          fwd.hdrs.Push(LayerId::kTotalBuggy, TotalHeader{kTotalTokenReq, hdr.gseq});
+          sink.PassDn(std::move(fwd));
+        }
+        return;
+      }
+      if (hdr.kind == kTotalTokenPass) {
+        token_holder_ = rank_;
+        next_gseq_ = hdr.gseq;
+        token_requested_ = false;
+        while (!pending_.empty()) {
+          Event cast = std::move(pending_.front());
+          pending_.pop_front();
+          cast.hdrs.Push(LayerId::kTotalBuggy, TotalHeader{kTotalData, next_gseq_++});
+          sink.PassDn(std::move(cast));
+        }
+        return;
+      }
+      // kTotalPass: upper-layer point-to-point traffic.
+      sink.PassUp(std::move(ev));
+      return;
+    }
+    case EventType::kInit:
+      NoteView(ev);
+      sink.PassUp(std::move(ev));
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+}  // namespace ensemble

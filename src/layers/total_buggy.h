@@ -1,0 +1,41 @@
+// total_buggy — a deliberately faulty total-order layer.
+//
+// Reproduces the shape of the "subtle bug" the paper reports was found while
+// proving one of Ensemble's total ordering protocols (§1, §3.1, [11]): the
+// delivery condition uses `>=` where the correct protocol requires `==`, so
+// when the network delays a message the layer delivers a later global
+// sequence number early and silently skips the gap.  Different members can
+// therefore deliver in different orders — exactly the violation the spec
+// monitors (and the refinement checker) catch.
+//
+// This layer exists so the checking machinery has a real bug to find; it is
+// never part of a production stack.
+
+#ifndef ENSEMBLE_SRC_LAYERS_TOTAL_BUGGY_H_
+#define ENSEMBLE_SRC_LAYERS_TOTAL_BUGGY_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+class TotalBuggyLayer : public Layer {
+ public:
+  explicit TotalBuggyLayer(const LayerParams& params) : Layer(LayerId::kTotalBuggy) {}
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+
+ private:
+  int32_t token_holder_ = 0;
+  uint32_t next_gseq_ = 0;
+  uint32_t expected_gseq_ = 0;
+  std::deque<Event> pending_;
+  bool token_requested_ = false;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_TOTAL_BUGGY_H_

@@ -1,0 +1,54 @@
+#include "src/layers/total_check.h"
+
+#include "src/marshal/header_desc.h"
+#include "src/util/hash.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_HEADER(TotalCheckHeader, LayerId::kTotalCheck,
+                         ENS_FIELD(TotalCheckHeader, kU32, delivered_at_send));
+ENSEMBLE_REGISTER_LAYER(LayerId::kTotalCheck, TotalCheckLayer);
+
+void TotalCheckLayer::Dn(Event ev, EventSink& sink) {
+  if (ev.type == EventType::kCast) {
+    ev.hdrs.Push(LayerId::kTotalCheck, TotalCheckHeader{delivered_});
+  } else if (ev.type == EventType::kView) {
+    NoteView(ev);
+    delivered_ = 0;
+  }
+  sink.PassDn(std::move(ev));
+}
+
+void TotalCheckLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kDeliverCast: {
+      TotalCheckHeader hdr = ev.hdrs.Pop<TotalCheckHeader>(LayerId::kTotalCheck);
+      // Total order implies causality here: everything the sender had
+      // delivered before casting must already be delivered here.
+      if (delivered_ < hdr.delivered_at_send) {
+        violations_++;
+      }
+      delivered_++;
+      sink.PassUp(std::move(ev));
+      return;
+    }
+    case EventType::kInit:
+    case EventType::kView:
+      NoteView(ev);
+      delivered_ = 0;
+      sink.PassUp(std::move(ev));
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+uint64_t TotalCheckLayer::StateDigest() const {
+  uint64_t h = kFnvOffset;
+  h = FnvMixU64(h, delivered_);
+  h = FnvMixU64(h, violations_);
+  return h;
+}
+
+}  // namespace ensemble

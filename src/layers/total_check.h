@@ -1,0 +1,42 @@
+// total_check — a checking layer for total order (paper §3's checking
+// discipline, the counterpart of fifo_check for the total-order property).
+//
+// Inserted directly above a total-order layer, it verifies that deliveries
+// carry strictly consecutive global positions, using its own shadow
+// numbering: the sender side stamps a check header with a local counter, the
+// receiver verifies that the interleaving it sees forms one gap-free global
+// sequence per group (via a vector-clock-free trick: each cast carries the
+// count of casts this member had delivered when it sent — under total order,
+// a receiver must have delivered at least that many before this one).
+
+#ifndef ENSEMBLE_SRC_LAYERS_TOTAL_CHECK_H_
+#define ENSEMBLE_SRC_LAYERS_TOTAL_CHECK_H_
+
+#include <cstdint>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+struct TotalCheckHeader {
+  uint32_t delivered_at_send;  // Sender's delivery count when it cast this.
+};
+
+class TotalCheckLayer : public Layer {
+ public:
+  explicit TotalCheckLayer(const LayerParams& params) : Layer(LayerId::kTotalCheck) {}
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  uint64_t StateDigest() const override;
+
+  uint64_t violations() const { return violations_; }
+
+ private:
+  uint32_t delivered_ = 0;
+  uint64_t violations_ = 0;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_TOTAL_CHECK_H_

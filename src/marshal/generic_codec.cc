@@ -1,0 +1,151 @@
+#include "src/marshal/generic_codec.h"
+
+#include "src/marshal/header_desc.h"
+#include "src/marshal/wire.h"
+
+namespace ensemble {
+
+namespace {
+constexpr uint16_t kNoRankWire = 0xFFFF;
+constexpr size_t kMaxHeaderStructSize = 64;
+}  // namespace
+
+Iovec GenericMarshal(const Event& ev, Rank sender_rank) {
+  WireWriter w;
+  w.U8(kWireGeneric);
+  w.U8(static_cast<uint8_t>(ev.type));
+  w.U16(static_cast<uint16_t>(sender_rank));
+  w.U16(ev.dest == kNoRank ? kNoRankWire : static_cast<uint16_t>(ev.dest));
+  w.U8(static_cast<uint8_t>(ev.hdrs.entry_count()));
+  for (size_t i = 0; i < ev.hdrs.entry_count(); i++) {
+    const HeaderStack::Entry& e = ev.hdrs.entry(i);
+    const uint8_t* raw = ev.hdrs.entry_data(i);
+    const HeaderDescriptor& desc = HeaderDescriptorFor(e.layer);
+    w.U8(static_cast<uint8_t>(e.layer));
+    w.U8(static_cast<uint8_t>(desc.fields.size()));
+    for (const FieldSpec& f : desc.fields) {
+      w.U8(static_cast<uint8_t>(f.type));
+      // Field-by-field copy with type dispatch: the deliberate generality of
+      // the slow path.
+      switch (f.type) {
+        case FieldType::kU8: {
+          uint8_t v;
+          std::memcpy(&v, raw + f.offset, 1);
+          w.U8(v);
+          break;
+        }
+        case FieldType::kU16: {
+          uint16_t v;
+          std::memcpy(&v, raw + f.offset, 2);
+          w.U16(v);
+          break;
+        }
+        case FieldType::kU32: {
+          uint32_t v;
+          std::memcpy(&v, raw + f.offset, 4);
+          w.U32(v);
+          break;
+        }
+        case FieldType::kU64: {
+          uint64_t v;
+          std::memcpy(&v, raw + f.offset, 8);
+          w.U64(v);
+          break;
+        }
+      }
+    }
+  }
+  w.U32(static_cast<uint32_t>(ev.payload.size()));
+
+  Iovec out(w.Take());
+  out.Append(ev.payload);
+  return out;
+}
+
+bool GenericUnmarshal(const Bytes& datagram, Event* out) {
+  WireReader r(datagram);
+  if (r.U8() != kWireGeneric) {
+    return false;
+  }
+  auto type = static_cast<EventType>(r.U8());
+  uint16_t origin = r.U16();
+  uint16_t dest = r.U16();
+  uint8_t nhdrs = r.U8();
+
+  Event ev;
+  switch (type) {
+    case EventType::kCast:
+      ev.type = EventType::kDeliverCast;
+      break;
+    case EventType::kSend:
+      ev.type = EventType::kDeliverSend;
+      break;
+    default:
+      return false;
+  }
+  ev.origin = static_cast<Rank>(origin);
+  ev.dest = dest == 0xFFFF ? kNoRank : static_cast<Rank>(dest);
+
+  uint8_t scratch[kMaxHeaderStructSize];
+  for (uint8_t i = 0; i < nhdrs; i++) {
+    auto layer = static_cast<LayerId>(r.U8());
+    if (static_cast<size_t>(layer) >= kLayerIdCount || layer == LayerId::kNone) {
+      return false;
+    }
+    const HeaderDescriptor* desc_ptr = TryHeaderDescriptorFor(layer);
+    if (desc_ptr == nullptr) {
+      return false;  // Remote named a layer with no registered header.
+    }
+    const HeaderDescriptor& desc = *desc_ptr;
+    uint8_t nfields = r.U8();
+    if (nfields != desc.fields.size() || desc.size > kMaxHeaderStructSize) {
+      return false;
+    }
+    std::memset(scratch, 0, desc.size);
+    for (const FieldSpec& f : desc.fields) {
+      auto tag = static_cast<FieldType>(r.U8());
+      if (tag != f.type) {
+        return false;
+      }
+      switch (f.type) {
+        case FieldType::kU8: {
+          uint8_t v = r.U8();
+          std::memcpy(scratch + f.offset, &v, 1);
+          break;
+        }
+        case FieldType::kU16: {
+          uint16_t v = r.U16();
+          std::memcpy(scratch + f.offset, &v, 2);
+          break;
+        }
+        case FieldType::kU32: {
+          uint32_t v = r.U32();
+          std::memcpy(scratch + f.offset, &v, 4);
+          break;
+        }
+        case FieldType::kU64: {
+          uint64_t v = r.U64();
+          std::memcpy(scratch + f.offset, &v, 8);
+          break;
+        }
+      }
+    }
+    if (!r.ok()) {
+      return false;
+    }
+    ev.hdrs.PushRaw(layer, scratch, desc.size);
+  }
+
+  uint32_t paylen = r.U32();
+  if (!r.ok() || r.remaining() != paylen) {
+    return false;
+  }
+  if (paylen > 0) {
+    // Zero-copy: the payload aliases the datagram buffer.
+    ev.payload.Append(datagram.Slice(r.pos(), paylen));
+  }
+  *out = std::move(ev);
+  return true;
+}
+
+}  // namespace ensemble

@@ -1,0 +1,46 @@
+// The generic wire codec: self-describing, field-tagged header marshaling.
+//
+// This is the analog of Ensemble's use of the OCaml value marshaler ("which
+// traverses the data structure, and copies all the data into a byte string
+// ... all this generality leads to substantial overhead").  Every header in
+// the stack is walked field-by-field through the descriptor registry with a
+// per-field type tag on the wire.  The compressed codec in src/bypass/ is the
+// optimized counterpart.
+//
+// Datagram layout:
+//   u8   kWireGeneric
+//   u8   event type (kCast or kSend)
+//   u16  origin rank
+//   u16  dest rank (0xFFFF = none)
+//   u8   header count
+//   per header: u8 layer id | u8 field count | per field: u8 tag, value
+//   u32  payload length, payload bytes
+//
+// The send side produces a scatter-gather Iovec whose first part is the
+// header block and whose remaining parts alias the payload (no payload copy,
+// mirroring the UNIX scatter-gather usage in the paper).
+
+#ifndef ENSEMBLE_SRC_MARSHAL_GENERIC_CODEC_H_
+#define ENSEMBLE_SRC_MARSHAL_GENERIC_CODEC_H_
+
+#include "src/event/event.h"
+#include "src/util/bytes.h"
+
+namespace ensemble {
+
+// First byte of every datagram.
+constexpr uint8_t kWireGeneric = 0x47;     // 'G'
+constexpr uint8_t kWireCompressed = 0x43;  // 'C'
+
+// Marshals a bottom-of-stack down event (kCast / kSend) into wire form.
+// `sender_rank` is the local rank in the current view.
+Iovec GenericMarshal(const Event& ev, Rank sender_rank);
+
+// Unmarshals a contiguous received datagram.  Produces a kDeliverCast /
+// kDeliverSend event whose header stack matches the sender's.  Returns false
+// on malformed input.
+bool GenericUnmarshal(const Bytes& datagram, Event* out);
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_MARSHAL_GENERIC_CODEC_H_

@@ -1,0 +1,70 @@
+#include "src/marshal/header_desc.h"
+
+#include <array>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace ensemble {
+
+size_t FieldTypeSize(FieldType t) {
+  switch (t) {
+    case FieldType::kU8:
+      return 1;
+    case FieldType::kU16:
+      return 2;
+    case FieldType::kU32:
+      return 4;
+    case FieldType::kU64:
+      return 8;
+  }
+  return 0;
+}
+
+namespace {
+std::array<HeaderDescriptor, kLayerIdCount>& Registry() {
+  static std::array<HeaderDescriptor, kLayerIdCount> table;
+  return table;
+}
+}  // namespace
+
+const HeaderDescriptor& HeaderDescriptorFor(LayerId layer) {
+  const HeaderDescriptor& d = Registry()[static_cast<size_t>(layer)];
+  ENS_CHECK_MSG(d.valid(), "no header descriptor registered for " << LayerIdName(layer));
+  return d;
+}
+
+const HeaderDescriptor* TryHeaderDescriptorFor(LayerId layer) {
+  if (static_cast<size_t>(layer) >= kLayerIdCount) {
+    return nullptr;
+  }
+  const HeaderDescriptor& d = Registry()[static_cast<size_t>(layer)];
+  return d.valid() ? &d : nullptr;
+}
+
+void RegisterHeaderDescriptor(HeaderDescriptor desc) {
+  ENS_CHECK(desc.layer != LayerId::kNone);
+  Registry()[static_cast<size_t>(desc.layer)] = std::move(desc);
+}
+
+void ZeroHeaderPadding(LayerId layer, uint8_t* data, size_t size) {
+  // Cached per-layer padding masks (true = byte belongs to a field).
+  static std::array<std::vector<bool>, kLayerIdCount> masks;
+  auto& mask = masks[static_cast<size_t>(layer)];
+  if (mask.empty()) {
+    const HeaderDescriptor& desc = HeaderDescriptorFor(layer);
+    mask.assign(desc.size, false);
+    for (const FieldSpec& f : desc.fields) {
+      for (size_t b = 0; b < FieldTypeSize(f.type); b++) {
+        mask[f.offset + b] = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < size && i < mask.size(); i++) {
+    if (!mask[i]) {
+      data[i] = 0;
+    }
+  }
+}
+
+}  // namespace ensemble

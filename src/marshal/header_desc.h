@@ -1,0 +1,74 @@
+// Header descriptors: the single source of truth about each layer's header
+// layout.
+//
+// Two consumers:
+//   * the generic marshaler walks a header field-by-field with per-field type
+//     tags — deliberately general (and deliberately not cheap), mirroring the
+//     OCaml value marshaler the paper describes ("all this generality leads
+//     to substantial overhead");
+//   * the bypass compiler (src/bypass/) classifies each field as constant or
+//     variable under a CCP and synthesizes the compressed wire layout from
+//     the same field list.
+
+#ifndef ENSEMBLE_SRC_MARSHAL_HEADER_DESC_H_
+#define ENSEMBLE_SRC_MARSHAL_HEADER_DESC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/event/types.h"
+
+namespace ensemble {
+
+enum class FieldType : uint8_t { kU8 = 1, kU16 = 2, kU32 = 3, kU64 = 4 };
+
+size_t FieldTypeSize(FieldType t);
+
+struct FieldSpec {
+  const char* name;
+  FieldType type;
+  uint16_t offset;  // Byte offset within the header struct.
+};
+
+struct HeaderDescriptor {
+  LayerId layer = LayerId::kNone;
+  uint16_t size = 0;  // sizeof the header struct.
+  std::vector<FieldSpec> fields;
+
+  bool valid() const { return layer != LayerId::kNone; }
+};
+
+// Global registry indexed by LayerId.  Layers register their descriptor once
+// at static-init time via RegisterHeaderDescriptor (see the layer .cc files).
+const HeaderDescriptor& HeaderDescriptorFor(LayerId layer);
+// Non-fatal lookup for wire parsers: remote bytes may name any layer id, so
+// a missing descriptor must be a parse error, not a process abort.
+const HeaderDescriptor* TryHeaderDescriptorFor(LayerId layer);
+void RegisterHeaderDescriptor(HeaderDescriptor desc);
+
+// Zeroes the bytes of `data` (a header struct of `layer`) not covered by any
+// field — compiler-inserted padding is indeterminate after aggregate
+// initialization, and normalized headers let header stacks be compared and
+// hashed bytewise.
+void ZeroHeaderPadding(LayerId layer, uint8_t* data, size_t size);
+
+// Convenience macro: registers a descriptor from a brace list of
+// (name, type, field) triples at namespace scope.
+//   ENSEMBLE_REGISTER_HEADER(MnakHeader, LayerId::kMnak,
+//                            ENS_FIELD(MnakHeader, kU32, seqno), ...);
+#define ENS_FIELD(Struct, ftype, member) \
+  ::ensemble::FieldSpec { #member, ::ensemble::FieldType::ftype, offsetof(Struct, member) }
+
+#define ENSEMBLE_REGISTER_HEADER(Struct, layer_id, ...)                         \
+  namespace {                                                                   \
+  const bool ens_hdr_reg_##Struct = [] {                                        \
+    ::ensemble::RegisterHeaderDescriptor(                                       \
+        {layer_id, sizeof(Struct), std::vector<::ensemble::FieldSpec>{__VA_ARGS__}}); \
+    return true;                                                                \
+  }();                                                                          \
+  }
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_MARSHAL_HEADER_DESC_H_

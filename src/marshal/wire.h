@@ -1,0 +1,95 @@
+// Bounds-checked little-endian byte writer/reader used by all wire codecs.
+
+#ifndef ENSEMBLE_SRC_MARSHAL_WIRE_H_
+#define ENSEMBLE_SRC_MARSHAL_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/logging.h"
+
+namespace ensemble {
+
+class WireWriter {
+ public:
+  WireWriter() { buf_.reserve(64); }
+
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U16(uint16_t v) { Raw(&v, 2); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void Raw(const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  size_t size() const { return buf_.size(); }
+  const uint8_t* data() const { return buf_.data(); }
+
+  Bytes Take() const { return Bytes::Copy(buf_.data(), buf_.size()); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit WireReader(const Bytes& b) : data_(b.data()), len_(b.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return len_ - pos_; }
+  size_t pos() const { return pos_; }
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Read(&v, 1);
+    return v;
+  }
+  uint16_t U16() {
+    uint16_t v = 0;
+    Read(&v, 2);
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Read(&v, 4);
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Read(&v, 8);
+    return v;
+  }
+  void Read(void* out, size_t len) {
+    if (pos_ + len > len_) {
+      ok_ = false;
+      std::memset(out, 0, len);
+      return;
+    }
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+  }
+  // Skips `len` bytes; returns the pointer to them (zero-copy view).
+  const uint8_t* Skip(size_t len) {
+    if (pos_ + len > len_) {
+      ok_ = false;
+      return nullptr;
+    }
+    const uint8_t* p = data_ + pos_;
+    pos_ += len;
+    return p;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_MARSHAL_WIRE_H_

@@ -1,0 +1,139 @@
+// Simulated datagram networks.
+//
+// The paper's specification section (Fig. 2) distinguishes a FIFO network
+// from a network "that reorders, duplicates, and loses messages"; the
+// protocol stacks are exactly the machinery that turns the latter into the
+// former (and more).  SimNetwork implements the lossy model with seeded
+// randomness; with all fault probabilities at zero and zero jitter it is the
+// FIFO network.  Per-link partitions support the membership tests.
+
+#ifndef ENSEMBLE_SRC_NET_NETWORK_H_
+#define ENSEMBLE_SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "src/event/types.h"
+#include "src/net/sim_queue.h"
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+#include "src/util/vtime.h"
+
+namespace ensemble {
+
+// A datagram in flight.  `datagram` is contiguous: the sending NIC gathers
+// the scatter-gather parts (see SimNetwork::Send), the receiver sees one
+// buffer and slices it zero-copy.
+struct Packet {
+  EndpointId src;
+  EndpointId dst;  // Ignored when broadcast.
+  bool broadcast = false;
+  Bytes datagram;
+};
+
+struct NetworkStats {
+  uint64_t sent = 0;
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t delayed_extra = 0;  // Packets given reordering delay.
+  uint64_t bytes_sent = 0;
+};
+
+// Abstract datagram network + timer facility: what a protocol endpoint needs
+// from its environment.  Implemented by SimNetwork (deterministic discrete-
+// event simulation) and UdpNetwork (real localhost sockets, src/net/udp.h).
+class Network {
+ public:
+  using DeliverFn = std::function<void(const Packet&)>;
+  using TimerFn = std::function<void()>;
+
+  virtual ~Network() = default;
+
+  virtual void Attach(EndpointId ep, DeliverFn deliver) = 0;
+  virtual void Detach(EndpointId ep) = 0;
+  virtual void Send(EndpointId src, EndpointId dst, const Iovec& gather) = 0;
+  virtual void Broadcast(EndpointId src, const Iovec& gather) = 0;
+  // One-shot timer `delay` from now; fires in the network's execution context
+  // (the sim queue / the UDP poll loop).
+  virtual void ScheduleTimer(VTime delay, TimerFn fn) = 0;
+  virtual VTime Now() const = 0;
+};
+
+// Fault and latency model.  All probabilities are per delivery attempt.
+struct NetworkConfig {
+  VTime latency = Micros(40);  // One-way link latency.
+  VTime jitter = 0;            // Uniform extra delay in [0, jitter].
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double reorder_prob = 0.0;    // Chance of an extra reorder_delay.
+  VTime reorder_delay = Micros(200);
+  uint64_t seed = 1;
+
+  static NetworkConfig Perfect() { return NetworkConfig{}; }
+  static NetworkConfig Lossy(double drop, double dup, double reorder, uint64_t seed) {
+    NetworkConfig c;
+    c.drop_prob = drop;
+    c.dup_prob = dup;
+    c.reorder_prob = reorder;
+    c.jitter = Micros(20);
+    c.seed = seed;
+    return c;
+  }
+};
+
+class SimNetwork : public Network {
+ public:
+  SimNetwork(SimQueue* queue, NetworkConfig config)
+      : queue_(queue), config_(config), rng_(config.seed) {}
+
+  // Registers an endpoint; `deliver` runs in simulation context when a packet
+  // for it arrives.
+  void Attach(EndpointId ep, DeliverFn deliver) override {
+    endpoints_[ep] = std::move(deliver);
+  }
+  void Detach(EndpointId ep) override { endpoints_.erase(ep); }
+  bool IsAttached(EndpointId ep) const { return endpoints_.count(ep) > 0; }
+
+  // Sends a gathered datagram.  The flatten here models the NIC gather DMA
+  // and is outside the measured protocol code latency.
+  void Send(EndpointId src, EndpointId dst, const Iovec& gather) override;
+  void Broadcast(EndpointId src, const Iovec& gather) override;
+
+  void ScheduleTimer(VTime delay, TimerFn fn) override {
+    queue_->After(delay, std::move(fn));
+  }
+  VTime Now() const override { return queue_->now(); }
+
+  // Observation tap: called for every packet accepted for delivery (after
+  // loss) with the delivery time.  Drives the PacketTrace debugging tool.
+  using TapFn = std::function<void(VTime deliver_at, const Packet&)>;
+  void SetTap(TapFn tap) { tap_ = std::move(tap); }
+
+  // Cuts / restores the (bidirectional) link between two endpoints.
+  void SetLinkUp(EndpointId a, EndpointId b, bool up);
+  // Cuts / restores all links of one endpoint (crash emulation).
+  void SetNodeUp(EndpointId a, bool up);
+
+  const NetworkStats& stats() const { return stats_; }
+  SimQueue* queue() { return queue_; }
+
+ private:
+  void DeliverOne(const Packet& packet);
+  bool LinkUp(EndpointId a, EndpointId b) const;
+
+  SimQueue* queue_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::map<EndpointId, DeliverFn> endpoints_;
+  std::set<std::pair<uint64_t, uint64_t>> cut_links_;
+  std::set<uint64_t> down_nodes_;
+  TapFn tap_;
+  NetworkStats stats_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_NET_NETWORK_H_

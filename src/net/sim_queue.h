@@ -1,0 +1,87 @@
+// Discrete-event simulation core: a virtual clock plus an ordered queue of
+// pending actions.  Every asynchronous effect in the simulated system —
+// packet delivery, protocol timers, failure injection — is an entry here, so
+// whole-group executions are deterministic and instantaneous to run.
+
+#ifndef ENSEMBLE_SRC_NET_SIM_QUEUE_H_
+#define ENSEMBLE_SRC_NET_SIM_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/vtime.h"
+
+namespace ensemble {
+
+class SimQueue {
+ public:
+  using Action = std::function<void()>;
+
+  VTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+
+  // Schedules `fn` to run at absolute virtual time `t` (clamped to now).
+  void At(VTime t, Action fn) {
+    if (t < now_) {
+      t = now_;
+    }
+    heap_.push(Entry{t, next_seq_++, std::move(fn)});
+  }
+  void After(VTime delay, Action fn) { At(now_ + delay, std::move(fn)); }
+
+  // Runs the next action; returns false if the queue is empty.
+  bool Step() {
+    if (heap_.empty()) {
+      return false;
+    }
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.t;
+    e.fn();
+    return true;
+  }
+
+  // Runs actions until the queue drains or virtual time would pass `limit`.
+  // Returns the number of actions executed.
+  size_t RunUntil(VTime limit) {
+    size_t n = 0;
+    while (!heap_.empty() && heap_.top().t <= limit) {
+      Step();
+      n++;
+    }
+    if (now_ < limit) {
+      now_ = limit;
+    }
+    return n;
+  }
+
+  // Drains the queue completely (with a step bound as a runaway guard).
+  size_t RunAll(size_t max_steps = 100'000'000) {
+    size_t n = 0;
+    while (n < max_steps && Step()) {
+      n++;
+    }
+    return n;
+  }
+
+ private:
+  struct Entry {
+    VTime t;
+    uint64_t seq;  // FIFO tiebreak for equal times.
+    Action fn;
+    bool operator>(const Entry& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  VTime now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_NET_SIM_QUEUE_H_

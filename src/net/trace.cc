@@ -1,0 +1,26 @@
+#include "src/net/trace.h"
+
+#include <sstream>
+
+#include "src/marshal/generic_codec.h"
+
+namespace ensemble {
+
+std::string PacketTrace::Dump(size_t max_lines) const {
+  std::ostringstream os;
+  size_t shown = 0;
+  for (const Record& r : records_) {
+    if (shown++ >= max_lines) {
+      os << "... (" << records_.size() - max_lines << " more)\n";
+      break;
+    }
+    const char* kind = r.wire_tag == kWireGeneric      ? "generic"
+                       : r.wire_tag == kWireCompressed ? "compressed"
+                                                       : "unknown";
+    os << r.deliver_at / 1000 << "us  " << r.src.id << " -> " << r.dst.id << "  " << r.bytes
+       << "B  " << kind << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ensemble

@@ -1,0 +1,73 @@
+// PacketTrace — a wire-level observation tool for debugging protocol runs.
+//
+// Hook it to a SimNetwork tap and every accepted packet is recorded with its
+// scheduled delivery time, endpoints, wire format (generic vs. compressed),
+// and size; Dump() renders a tcpdump-ish timeline.  Used by tests to assert
+// wire-level facts (e.g. "everything after warm-up was compressed") and by
+// humans to see what a protocol actually put on the network.
+
+#ifndef ENSEMBLE_SRC_NET_TRACE_H_
+#define ENSEMBLE_SRC_NET_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+
+namespace ensemble {
+
+class PacketTrace {
+ public:
+  struct Record {
+    VTime deliver_at = 0;
+    EndpointId src;
+    EndpointId dst;
+    size_t bytes = 0;
+    uint8_t wire_tag = 0;  // kWireGeneric / kWireCompressed / other.
+  };
+
+  // Attaches to the network's tap (replacing any previous tap).
+  void AttachTo(SimNetwork* net) {
+    net->SetTap([this](VTime at, const Packet& p) { Observe(at, p); });
+  }
+
+  void Observe(VTime deliver_at, const Packet& packet) {
+    Record r;
+    r.deliver_at = deliver_at;
+    r.src = packet.src;
+    r.dst = packet.dst;
+    r.bytes = packet.datagram.size();
+    r.wire_tag = packet.datagram.empty() ? 0 : packet.datagram[0];
+    records_.push_back(r);
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+  // Packets per wire tag, and total bytes.
+  size_t CountWithTag(uint8_t tag) const {
+    size_t n = 0;
+    for (const Record& r : records_) {
+      n += r.wire_tag == tag ? 1 : 0;
+    }
+    return n;
+  }
+  size_t TotalBytes() const {
+    size_t n = 0;
+    for (const Record& r : records_) {
+      n += r.bytes;
+    }
+    return n;
+  }
+
+  // Human-readable timeline.
+  std::string Dump(size_t max_lines = 100) const;
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_NET_TRACE_H_

@@ -1,0 +1,205 @@
+#include "src/net/udp.h"
+
+#if defined(__linux__) || defined(__APPLE__)
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace ensemble {
+
+namespace {
+constexpr size_t kMaxDatagram = 65536;
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+}  // namespace
+
+UdpNetwork::~UdpNetwork() {
+  for (auto& [ep, state] : endpoints_) {
+    if (state.fd >= 0) {
+      close(state.fd);
+    }
+  }
+}
+
+void UdpNetwork::Attach(EndpointId ep, DeliverFn deliver) {
+  Endpoint state;
+  state.fd = socket(AF_INET, SOCK_DGRAM, 0);
+  if (state.fd < 0) {
+    ok_ = false;
+    return;
+  }
+  int flags = fcntl(state.fd, F_GETFL, 0);
+  fcntl(state.fd, F_SETFL, flags | O_NONBLOCK);
+
+  sockaddr_in addr = LoopbackAddr(0);
+  if (bind(state.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(state.fd);
+    ok_ = false;
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(state.fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  state.port = ntohs(addr.sin_port);
+  state.deliver = std::move(deliver);
+  by_port_[state.port] = ep;
+  endpoints_[ep] = std::move(state);
+}
+
+void UdpNetwork::Detach(EndpointId ep) {
+  auto it = endpoints_.find(ep);
+  if (it == endpoints_.end()) {
+    return;
+  }
+  by_port_.erase(it->second.port);
+  if (it->second.fd >= 0) {
+    close(it->second.fd);
+  }
+  endpoints_.erase(it);
+}
+
+uint16_t UdpNetwork::PortOf(EndpointId ep) const {
+  auto it = endpoints_.find(ep);
+  return it == endpoints_.end() ? 0 : it->second.port;
+}
+
+void UdpNetwork::Send(EndpointId src, EndpointId dst, const Iovec& gather) {
+  auto from = endpoints_.find(src);
+  auto to = endpoints_.find(dst);
+  if (from == endpoints_.end() || to == endpoints_.end()) {
+    stats_.dropped++;
+    return;
+  }
+  // The real scatter-gather send: one iovec entry per part, no flatten.
+  std::vector<iovec> iov(gather.part_count());
+  for (size_t i = 0; i < gather.part_count(); i++) {
+    iov[i].iov_base = const_cast<uint8_t*>(gather.part(i).data());
+    iov[i].iov_len = gather.part(i).size();
+  }
+  sockaddr_in addr = LoopbackAddr(to->second.port);
+  msghdr msg;
+  std::memset(&msg, 0, sizeof(msg));
+  msg.msg_name = &addr;
+  msg.msg_namelen = sizeof(addr);
+  msg.msg_iov = iov.data();
+  msg.msg_iovlen = iov.size();
+  if (sendmsg(from->second.fd, &msg, 0) >= 0) {
+    stats_.sent++;
+    stats_.bytes_sent += gather.size();
+  } else {
+    stats_.dropped++;
+  }
+}
+
+void UdpNetwork::Broadcast(EndpointId src, const Iovec& gather) {
+  for (const auto& [ep, state] : endpoints_) {
+    if (ep == src) {
+      continue;
+    }
+    Send(src, ep, gather);
+  }
+}
+
+void UdpNetwork::ScheduleTimer(VTime delay, TimerFn fn) {
+  timers_.push_back({NowNanos() + delay, std::move(fn)});
+}
+
+size_t UdpNetwork::RunDueTimers() {
+  // Due timers are collected first: firing may schedule new ones.
+  VTime now = NowNanos();
+  std::vector<TimerFn> due;
+  for (size_t i = 0; i < timers_.size();) {
+    if (timers_[i].due <= now) {
+      due.push_back(std::move(timers_[i].fn));
+      timers_[i] = std::move(timers_.back());
+      timers_.pop_back();
+    } else {
+      i++;
+    }
+  }
+  for (TimerFn& fn : due) {
+    fn();
+  }
+  return due.size();
+}
+
+size_t UdpNetwork::DrainSockets() {
+  size_t events = 0;
+  uint8_t buf[kMaxDatagram];
+  for (auto& [ep, state] : endpoints_) {
+    while (true) {
+      sockaddr_in from;
+      socklen_t from_len = sizeof(from);
+      ssize_t n = recvfrom(state.fd, buf, sizeof(buf), 0,
+                           reinterpret_cast<sockaddr*>(&from), &from_len);
+      if (n < 0) {
+        break;  // EWOULDBLOCK: drained.
+      }
+      Packet packet;
+      auto src = by_port_.find(ntohs(from.sin_port));
+      packet.src = src != by_port_.end() ? src->second : EndpointId{0};
+      packet.dst = ep;
+      packet.datagram = Bytes::Copy(buf, static_cast<size_t>(n));
+      stats_.delivered++;
+      if (state.deliver) {
+        state.deliver(packet);
+      }
+      events++;
+    }
+  }
+  return events;
+}
+
+size_t UdpNetwork::Poll() { return DrainSockets() + RunDueTimers(); }
+
+size_t UdpNetwork::PollFor(VTime duration) {
+  size_t events = 0;
+  VTime deadline = NowNanos() + duration;
+  std::vector<pollfd> fds;
+  while (NowNanos() < deadline) {
+    events += Poll();
+    // Sleep in poll(2) until traffic arrives or ~1ms passes (timer tick).
+    fds.clear();
+    for (const auto& [ep, state] : endpoints_) {
+      fds.push_back(pollfd{state.fd, POLLIN, 0});
+    }
+    if (fds.empty()) {
+      break;
+    }
+    ::poll(fds.data(), fds.size(), 1);
+  }
+  events += Poll();
+  return events;
+}
+
+}  // namespace ensemble
+
+#else  // Unsupported platform: stub that reports !ok().
+
+namespace ensemble {
+UdpNetwork::~UdpNetwork() = default;
+void UdpNetwork::Attach(EndpointId, DeliverFn) { ok_ = false; }
+void UdpNetwork::Detach(EndpointId) {}
+void UdpNetwork::Send(EndpointId, EndpointId, const Iovec&) {}
+void UdpNetwork::Broadcast(EndpointId, const Iovec&) {}
+void UdpNetwork::ScheduleTimer(VTime, TimerFn) {}
+size_t UdpNetwork::Poll() { return 0; }
+size_t UdpNetwork::PollFor(VTime) { return 0; }
+uint16_t UdpNetwork::PortOf(EndpointId) const { return 0; }
+}  // namespace ensemble
+
+#endif

@@ -1,0 +1,47 @@
+// Hardware performance counters (Table 2a's methodology).
+//
+// The paper read Pentium II performance-monitoring counters (data memory
+// refs, ifetches, iTLB misses, decoded instructions, stalls, unhalted
+// cycles).  We use the portable Linux perf_event interface for the closest
+// modern equivalents — cycles, instructions, cache references/misses, dTLB
+// misses, branches.  When the kernel forbids PMU access (common in
+// containers: perf_event_paranoid, seccomp), `available()` is false and the
+// benches report software proxy counters instead (allocations, copies,
+// dispatches) — see DESIGN.md's substitution table.
+
+#ifndef ENSEMBLE_SRC_PERF_PERF_COUNTERS_H_
+#define ENSEMBLE_SRC_PERF_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ensemble {
+
+class PerfCounterGroup {
+ public:
+  struct Reading {
+    std::string name;
+    uint64_t value = 0;
+  };
+
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  // True when at least the cycle counter opened.
+  bool available() const { return !fds_.empty(); }
+
+  void Start();
+  std::vector<Reading> Stop();
+
+ private:
+  std::vector<int> fds_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_PERF_PERF_COUNTERS_H_

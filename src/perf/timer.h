@@ -1,0 +1,32 @@
+// Wall-clock timing helpers for the latency harness.
+
+#ifndef ENSEMBLE_SRC_PERF_TIMER_H_
+#define ENSEMBLE_SRC_PERF_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ensemble {
+
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Accumulates elapsed time across Start/Stop pairs.
+class PhaseTimer {
+ public:
+  void Start() { start_ = NowNanos(); }
+  void Stop() { total_ += NowNanos() - start_; }
+  uint64_t total_ns() const { return total_; }
+  void Reset() { total_ = 0; }
+
+ private:
+  uint64_t start_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_PERF_TIMER_H_

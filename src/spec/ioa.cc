@@ -1,0 +1,128 @@
+#include "src/spec/ioa.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace ensemble {
+
+std::string CompositeIoa::name() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < parts_.size(); i++) {
+    os << (i > 0 ? " ||| " : "") << parts_[i]->name();
+  }
+  os << ")";
+  return os.str();
+}
+
+std::vector<Ioa::Action> CompositeIoa::Enabled() const {
+  // Candidate labels: enabled somewhere.  A label runs only if every part
+  // whose signature contains it can also take it (CanApply — parts with
+  // open alphabets do not enumerate every acceptable label).
+  std::vector<Action> out;
+  std::set<std::string> seen;
+  for (const auto& part : parts_) {
+    for (const Action& a : part->Enabled()) {
+      if (!seen.insert(a.label).second) {
+        continue;
+      }
+      bool jointly_enabled = true;
+      bool external = a.external;
+      for (const auto& other : parts_) {
+        if (other.get() == part.get() || !other->Handles(a.label)) {
+          continue;
+        }
+        if (!other->CanApply(a.label)) {
+          jointly_enabled = false;
+          break;
+        }
+        // An action is external to the composite only if every synchronizing
+        // part regards it as external.
+        for (const Action& b : other->Enabled()) {
+          if (b.label == a.label) {
+            external = external && b.external;
+            break;
+          }
+        }
+      }
+      if (jointly_enabled) {
+        out.push_back(Action{a.label, external});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Action& a, const Action& b) { return a.label < b.label; });
+  return out;
+}
+
+bool CompositeIoa::Handles(const std::string& label) const {
+  for (const auto& part : parts_) {
+    if (part->Handles(label)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CompositeIoa::Apply(const std::string& label) {
+  // All-or-nothing: check every synchronizing part's precondition before
+  // mutating any of them.
+  bool any = false;
+  for (const auto& part : parts_) {
+    if (!part->Handles(label)) {
+      continue;
+    }
+    any = true;
+    if (!part->CanApply(label)) {
+      return false;
+    }
+  }
+  if (!any) {
+    return false;
+  }
+  for (const auto& part : parts_) {
+    if (part->Handles(label)) {
+      part->Apply(label);
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<Ioa> CompositeIoa::Clone() const {
+  auto copy = std::make_unique<CompositeIoa>();
+  for (const auto& part : parts_) {
+    copy->Add(part->Clone());
+  }
+  return copy;
+}
+
+std::string CompositeIoa::StateString() const {
+  std::ostringstream os;
+  for (const auto& part : parts_) {
+    os << part->StateString() << ";";
+  }
+  return os.str();
+}
+
+Execution RandomExecution(const Ioa& initial, uint64_t seed, size_t max_steps) {
+  Execution exec;
+  Rng rng(seed);
+  std::unique_ptr<Ioa> state = initial.Clone();
+  for (size_t step = 0; step < max_steps; step++) {
+    std::vector<Ioa::Action> enabled = state->Enabled();
+    if (enabled.empty()) {
+      exec.deadlocked = true;
+      break;
+    }
+    const Ioa::Action& pick = enabled[rng.Below(enabled.size())];
+    state->Apply(pick.label);
+    exec.actions.push_back(pick);
+    if (pick.external) {
+      exec.trace.push_back(pick.label);
+    }
+  }
+  return exec;
+}
+
+}  // namespace ensemble

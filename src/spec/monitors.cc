@@ -1,0 +1,131 @@
+#include "src/spec/monitors.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace ensemble {
+
+std::string MonitorResult::ToString() const {
+  if (ok) {
+    return "ok";
+  }
+  std::ostringstream os;
+  for (const auto& v : violations) {
+    os << v << "\n";
+  }
+  return os.str();
+}
+
+MonitorResult CheckReliableFifo(const GroupHarness& g,
+                                const std::vector<std::vector<std::string>>& sent_by,
+                                bool include_self) {
+  MonitorResult result;
+  for (int m = 0; m < g.n(); m++) {
+    for (Rank origin = 0; origin < static_cast<Rank>(sent_by.size()); origin++) {
+      if (!include_self && origin == m) {
+        continue;
+      }
+      std::vector<std::string> got = g.CastPayloadsFrom(m, origin);
+      const std::vector<std::string>& want = sent_by[static_cast<size_t>(origin)];
+      if (got != want) {
+        std::ostringstream os;
+        os << "member " << m << " delivered " << got.size() << " casts from " << origin
+           << ", want " << want.size();
+        for (size_t i = 0; i < std::min(got.size(), want.size()); i++) {
+          if (got[i] != want[i]) {
+            os << "; first mismatch at " << i << ": got '" << got[i] << "' want '" << want[i]
+               << "'";
+            break;
+          }
+        }
+        result.ok = false;
+        result.violations.push_back(os.str());
+      }
+    }
+  }
+  return result;
+}
+
+MonitorResult CheckNoDuplicates(const GroupHarness& g) {
+  MonitorResult result;
+  for (int m = 0; m < g.n(); m++) {
+    std::map<std::pair<Rank, std::string>, int> counts;
+    for (const auto& d : g.deliveries(m)) {
+      if (d.type != EventType::kDeliverCast) {
+        continue;
+      }
+      if (++counts[{d.origin, d.payload}] == 2) {
+        std::ostringstream os;
+        os << "member " << m << " delivered duplicate cast (" << d.origin << ", '" << d.payload
+           << "')";
+        result.ok = false;
+        result.violations.push_back(os.str());
+      }
+    }
+  }
+  return result;
+}
+
+MonitorResult CheckTotalOrderAgreement(const GroupHarness& g) {
+  MonitorResult result;
+  // Build each member's delivery sequence keyed by (origin, payload).
+  using Key = std::pair<Rank, std::string>;
+  std::vector<std::vector<Key>> seqs(static_cast<size_t>(g.n()));
+  for (int m = 0; m < g.n(); m++) {
+    for (const auto& d : g.deliveries(m)) {
+      if (d.type == EventType::kDeliverCast) {
+        seqs[static_cast<size_t>(m)].push_back({d.origin, d.payload});
+      }
+    }
+  }
+  // Pairwise: the order of common messages must agree.
+  for (int a = 0; a < g.n(); a++) {
+    for (int b = a + 1; b < g.n(); b++) {
+      std::map<Key, size_t> pos_b;
+      for (size_t i = 0; i < seqs[static_cast<size_t>(b)].size(); i++) {
+        pos_b[seqs[static_cast<size_t>(b)][i]] = i;
+      }
+      size_t last = 0;
+      bool have_last = false;
+      Key last_key;
+      for (const Key& k : seqs[static_cast<size_t>(a)]) {
+        auto it = pos_b.find(k);
+        if (it == pos_b.end()) {
+          continue;
+        }
+        if (have_last && it->second < last) {
+          std::ostringstream os;
+          os << "members " << a << " and " << b << " disagree on order: " << a << " delivered ("
+             << last_key.first << ",'" << last_key.second << "') before (" << k.first << ",'"
+             << k.second << "'), " << b << " delivered them in the opposite order";
+          result.ok = false;
+          result.violations.push_back(os.str());
+          return result;
+        }
+        last = it->second;
+        last_key = k;
+        have_last = true;
+      }
+    }
+  }
+  return result;
+}
+
+MonitorResult CheckVirtualSynchrony(const std::vector<std::vector<std::string>>& per_view_sets) {
+  MonitorResult result;
+  for (size_t m = 1; m < per_view_sets.size(); m++) {
+    std::multiset<std::string> a(per_view_sets[0].begin(), per_view_sets[0].end());
+    std::multiset<std::string> b(per_view_sets[m].begin(), per_view_sets[m].end());
+    if (a != b) {
+      std::ostringstream os;
+      os << "survivor " << m << " delivered a different message set in the view than survivor 0"
+         << " (" << b.size() << " vs " << a.size() << " messages)";
+      result.ok = false;
+      result.violations.push_back(os.str());
+    }
+  }
+  return result;
+}
+
+}  // namespace ensemble

@@ -1,0 +1,43 @@
+// Trace monitors: the bridge between the IOA specifications and the real
+// C++ stacks.  A GroupHarness run produces per-member delivery traces; the
+// monitors check them against the properties the abstract specs describe —
+// per-sender FIFO, no duplication/loss, total-order agreement, and the
+// virtual-synchrony invariant.
+
+#ifndef ENSEMBLE_SRC_SPEC_MONITORS_H_
+#define ENSEMBLE_SRC_SPEC_MONITORS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/app/harness.h"
+
+namespace ensemble {
+
+struct MonitorResult {
+  bool ok = true;
+  std::vector<std::string> violations;
+  std::string ToString() const;
+};
+
+// Per-sender FIFO + completeness: every member delivered exactly the
+// sequence `sent_by[origin]` from each origin (reliable FIFO multicast).
+MonitorResult CheckReliableFifo(const GroupHarness& g,
+                                const std::vector<std::vector<std::string>>& sent_by,
+                                bool include_self);
+
+// No duplicates: no member delivered the same (origin, payload) twice.
+MonitorResult CheckNoDuplicates(const GroupHarness& g);
+
+// Total order agreement: all members' cast-delivery sequences agree on the
+// relative order of every pair of messages they both delivered.
+MonitorResult CheckTotalOrderAgreement(const GroupHarness& g);
+
+// Virtual synchrony: members that survive from one view to the next
+// delivered the same multiset of casts while that view was installed.
+// Requires the harness members to have recorded views.
+MonitorResult CheckVirtualSynchrony(const std::vector<std::vector<std::string>>& per_view_sets);
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_SPEC_MONITORS_H_

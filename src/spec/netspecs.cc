@@ -1,0 +1,219 @@
+#include "src/spec/netspecs.h"
+
+#include <sstream>
+
+namespace ensemble {
+
+namespace {
+// Extracts the argument of "Name(arg)" if the label starts with "Name(".
+bool MatchCall(const std::string& label, const std::string& fn, std::string* arg) {
+  if (label.size() < fn.size() + 2 || label.compare(0, fn.size(), fn) != 0 ||
+      label[fn.size()] != '(' || label.back() != ')') {
+    return false;
+  }
+  *arg = label.substr(fn.size() + 1, label.size() - fn.size() - 2);
+  return true;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FifoNetworkSpec
+// ---------------------------------------------------------------------------
+
+std::vector<Ioa::Action> FifoNetworkSpec::Enabled() const {
+  std::vector<Action> out;
+  for (const std::string& s : alphabet_) {
+    out.push_back({"Send(" + s + ")", true});
+  }
+  if (!in_transit_.empty()) {
+    out.push_back({"Deliver(" + in_transit_.front() + ")", true});
+  }
+  return out;
+}
+
+bool FifoNetworkSpec::Handles(const std::string& label) const {
+  std::string arg;
+  return MatchCall(label, "Send", &arg) || MatchCall(label, "Deliver", &arg);
+}
+
+bool FifoNetworkSpec::Apply(const std::string& label) {
+  std::string arg;
+  if (MatchCall(label, "Send", &arg)) {
+    in_transit_.push_back(arg);  // condition: true
+    return true;
+  }
+  if (MatchCall(label, "Deliver", &arg)) {
+    if (in_transit_.empty() || in_transit_.front() != arg) {
+      return false;  // condition: head == (dst,msg)
+    }
+    in_transit_.pop_front();
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Ioa> FifoNetworkSpec::Clone() const {
+  return std::make_unique<FifoNetworkSpec>(*this);
+}
+
+std::string FifoNetworkSpec::StateString() const {
+  std::ostringstream os;
+  os << "fifo[";
+  for (const std::string& s : in_transit_) {
+    os << s << "|";
+  }
+  os << "]";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// PairwiseFifoNetworkSpec
+// ---------------------------------------------------------------------------
+
+namespace {
+// "src,dst,msg" -> ("src,dst", "msg"); false when malformed.
+bool SplitPair(const std::string& arg, std::string* key, std::string* msg) {
+  size_t first = arg.find(',');
+  if (first == std::string::npos) {
+    return false;
+  }
+  size_t second = arg.find(',', first + 1);
+  if (second == std::string::npos) {
+    return false;
+  }
+  *key = arg.substr(0, second);
+  *msg = arg.substr(second + 1);
+  return true;
+}
+}  // namespace
+
+std::vector<Ioa::Action> PairwiseFifoNetworkSpec::Enabled() const {
+  std::vector<Action> out;
+  for (const std::string& s : alphabet_) {
+    out.push_back({"Send(" + s + ")", true});
+  }
+  for (const auto& [key, queue] : in_transit_) {
+    if (!queue.empty()) {
+      out.push_back({"Deliver(" + key + "," + queue.front() + ")", true});
+    }
+  }
+  return out;
+}
+
+bool PairwiseFifoNetworkSpec::Handles(const std::string& label) const {
+  std::string arg;
+  return MatchCall(label, "Send", &arg) || MatchCall(label, "Deliver", &arg);
+}
+
+bool PairwiseFifoNetworkSpec::Apply(const std::string& label) {
+  std::string arg, key, msg;
+  if (MatchCall(label, "Send", &arg) && SplitPair(arg, &key, &msg)) {
+    in_transit_[key].push_back(msg);
+    return true;
+  }
+  if (MatchCall(label, "Deliver", &arg) && SplitPair(arg, &key, &msg)) {
+    auto it = in_transit_.find(key);
+    if (it == in_transit_.end() || it->second.empty() || it->second.front() != msg) {
+      return false;
+    }
+    it->second.pop_front();
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Ioa> PairwiseFifoNetworkSpec::Clone() const {
+  return std::make_unique<PairwiseFifoNetworkSpec>(*this);
+}
+
+std::string PairwiseFifoNetworkSpec::StateString() const {
+  std::ostringstream os;
+  os << "pfifo[";
+  for (const auto& [key, queue] : in_transit_) {
+    os << key << ":";
+    for (const std::string& m : queue) {
+      os << m << "|";
+    }
+    os << " ";
+  }
+  os << "]";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// LossyNetworkSpec
+// ---------------------------------------------------------------------------
+
+std::vector<Ioa::Action> LossyNetworkSpec::Enabled() const {
+  std::vector<Action> out;
+  for (const std::string& s : alphabet_) {
+    out.push_back({prefix_ + "Send(" + s + ")", external_});
+  }
+  for (const auto& [payload, count] : in_transit_) {
+    if (count > 0) {
+      // Deliver does not consume (duplication); Drop removes (loss).
+      out.push_back({prefix_ + "Deliver(" + payload + ")", external_});
+      out.push_back({prefix_ + "Drop(" + payload + ")", false});
+    }
+  }
+  return out;
+}
+
+bool LossyNetworkSpec::Handles(const std::string& label) const {
+  std::string arg;
+  return MatchCall(label, prefix_ + "Send", &arg) ||
+         MatchCall(label, prefix_ + "Deliver", &arg) ||
+         MatchCall(label, prefix_ + "Drop", &arg);
+}
+
+bool LossyNetworkSpec::Apply(const std::string& label) {
+  std::string arg;
+  if (MatchCall(label, prefix_ + "Send", &arg)) {
+    in_transit_[arg]++;
+    return true;
+  }
+  if (MatchCall(label, prefix_ + "Deliver", &arg)) {
+    auto it = in_transit_.find(arg);
+    return it != in_transit_.end() && it->second > 0;  // No removal.
+  }
+  if (MatchCall(label, prefix_ + "Drop", &arg)) {
+    auto it = in_transit_.find(arg);
+    if (it == in_transit_.end() || it->second == 0) {
+      return false;
+    }
+    if (--it->second == 0) {
+      in_transit_.erase(it);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool LossyNetworkSpec::CanApply(const std::string& label) const {
+  std::string arg;
+  if (MatchCall(label, prefix_ + "Send", &arg)) {
+    return true;  // Open alphabet: any payload may be sent.
+  }
+  if (MatchCall(label, prefix_ + "Deliver", &arg) ||
+      MatchCall(label, prefix_ + "Drop", &arg)) {
+    auto it = in_transit_.find(arg);
+    return it != in_transit_.end() && it->second > 0;
+  }
+  return false;
+}
+
+std::unique_ptr<Ioa> LossyNetworkSpec::Clone() const {
+  return std::make_unique<LossyNetworkSpec>(*this);
+}
+
+std::string LossyNetworkSpec::StateString() const {
+  std::ostringstream os;
+  os << prefix_ << "lossy[";
+  for (const auto& [payload, count] : in_transit_) {
+    os << payload << "*" << count << "|";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace ensemble

@@ -1,0 +1,93 @@
+// Abstract network specifications — the paper's Figure 2.
+//
+//   FifoNetworkSpec      = Fig. 2(a): one global in-transit queue; Deliver
+//                          only at the head.
+//   PairwiseFifoNetwork  = the per-(src,dst) variant real protocols provide
+//                          when several senders interleave.
+//   LossyNetworkSpec     = Fig. 2(b): an in-transit multiset; Deliver any
+//                          element (repeatedly — duplication), internal Drop
+//                          loses elements.
+//
+// Labels (synchronization points for composition):
+//   "Send(dst,msg)"  "Deliver(dst,msg)"          — Fifo/global specs
+//   "Send(src,dst,msg)" "Deliver(src,dst,msg)"   — pairwise spec
+//   "<prefix>Send(...)" etc. for LossyNetworkSpec so it can serve as the
+//   transport under concrete protocol specs (usually with external=false).
+
+#ifndef ENSEMBLE_SRC_SPEC_NETSPECS_H_
+#define ENSEMBLE_SRC_SPEC_NETSPECS_H_
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "src/spec/ioa.h"
+
+namespace ensemble {
+
+class FifoNetworkSpec : public Ioa {
+ public:
+  FifoNetworkSpec() = default;
+
+  std::string name() const override { return "FifoNetwork"; }
+  std::vector<Action> Enabled() const override;
+  bool Handles(const std::string& label) const override;
+  bool Apply(const std::string& label) override;
+  std::unique_ptr<Ioa> Clone() const override;
+  std::string StateString() const override;
+
+  // The Send alphabet is open: the spec accepts any Send label and queues
+  // its argument.  To keep Enabled() finite, the spec is used as an acceptor
+  // (Apply / SpecAcceptsTrace); Enabled() reports deliveries plus the sends
+  // of a registered alphabet.
+  void AllowSend(const std::string& dst_msg) { alphabet_.push_back(dst_msg); }
+
+ private:
+  std::deque<std::string> in_transit_;  // "dst,msg" in order.
+  std::vector<std::string> alphabet_;
+};
+
+class PairwiseFifoNetworkSpec : public Ioa {
+ public:
+  PairwiseFifoNetworkSpec() = default;
+
+  std::string name() const override { return "PairwiseFifoNetwork"; }
+  std::vector<Action> Enabled() const override;
+  bool Handles(const std::string& label) const override;
+  bool Apply(const std::string& label) override;
+  std::unique_ptr<Ioa> Clone() const override;
+  std::string StateString() const override;
+
+  void AllowSend(const std::string& src_dst_msg) { alphabet_.push_back(src_dst_msg); }
+
+ private:
+  // Key "src,dst" -> queued msgs.
+  std::map<std::string, std::deque<std::string>> in_transit_;
+  std::vector<std::string> alphabet_;
+};
+
+class LossyNetworkSpec : public Ioa {
+ public:
+  explicit LossyNetworkSpec(std::string prefix = "", bool external = true)
+      : prefix_(std::move(prefix)), external_(external) {}
+
+  std::string name() const override { return prefix_ + "LossyNetwork"; }
+  std::vector<Action> Enabled() const override;
+  bool Handles(const std::string& label) const override;
+  bool Apply(const std::string& label) override;
+  bool CanApply(const std::string& label) const override;
+  std::unique_ptr<Ioa> Clone() const override;
+  std::string StateString() const override;
+
+  void AllowSend(const std::string& payload) { alphabet_.push_back(payload); }
+
+ private:
+  std::string prefix_;
+  bool external_;
+  std::map<std::string, int> in_transit_;  // payload -> multiplicity.
+  std::vector<std::string> alphabet_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_SPEC_NETSPECS_H_

@@ -1,0 +1,343 @@
+#include "src/spec/protospecs.h"
+
+#include <sstream>
+
+#include "src/spec/netspecs.h"
+
+namespace ensemble {
+
+namespace {
+bool MatchCall(const std::string& label, const std::string& fn, std::string* arg) {
+  if (label.size() < fn.size() + 2 || label.compare(0, fn.size(), fn) != 0 ||
+      label[fn.size()] != '(' || label.back() != ')') {
+    return false;
+  }
+  *arg = label.substr(fn.size() + 1, label.size() - fn.size() - 2);
+  return true;
+}
+
+std::vector<std::string> SplitArgs(const std::string& arg) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (true) {
+    size_t comma = arg.find(',', pos);
+    if (comma == std::string::npos) {
+      out.push_back(arg.substr(pos));
+      break;
+    }
+    out.push_back(arg.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FifoProtocolSpec
+// ---------------------------------------------------------------------------
+
+std::vector<Ioa::Action> FifoProtocolSpec::Enabled() const {
+  std::vector<Action> out;
+  // Above.Send: the next scripted application send.
+  if (next_ < script_.size()) {
+    const auto& [dst, msg] = script_[next_];
+    out.push_back({"ASend(" + std::to_string(process_) + "," + std::to_string(dst) + "," +
+                       msg + ")",
+                   true});
+  }
+  // Below.Send: transmit (or retransmit) anything buffered.
+  for (const auto& [dst, buf] : sendbuf_) {
+    for (const auto& [seq, msg] : buf) {
+      out.push_back({"NetSend(" + std::to_string(process_) + "," + std::to_string(dst) + "," +
+                         std::to_string(seq) + "," + msg + ")",
+                     false});
+    }
+  }
+  // Above.Deliver: the head of the ready queue.
+  if (!ready_.empty()) {
+    out.push_back({"ADeliver(" + std::to_string(process_) + "," +
+                       std::to_string(ready_.front().first) + "," + ready_.front().second +
+                       ")",
+                   true});
+  }
+  // Below.Deliver for any label addressed to us is enabled by Handles/Apply;
+  // the network side proposes the labels, so we do not enumerate them here.
+  return out;
+}
+
+bool FifoProtocolSpec::Handles(const std::string& label) const {
+  std::string arg;
+  if (MatchCall(label, "ASend", &arg) || MatchCall(label, "ADeliver", &arg)) {
+    return SplitArgs(arg)[0] == std::to_string(process_);
+  }
+  if (MatchCall(label, "NetSend", &arg)) {
+    return SplitArgs(arg)[0] == std::to_string(process_);
+  }
+  if (MatchCall(label, "NetDeliver", &arg)) {
+    // Payload is "src,dst,seq,msg"; we consume those addressed to us.
+    std::vector<std::string> parts = SplitArgs(arg);
+    return parts.size() == 4 && parts[1] == std::to_string(process_);
+  }
+  return false;
+}
+
+bool FifoProtocolSpec::Apply(const std::string& label) {
+  std::string arg;
+  if (MatchCall(label, "ASend", &arg)) {
+    if (next_ >= script_.size()) {
+      return false;
+    }
+    const auto& [dst, msg] = script_[next_];
+    std::vector<std::string> parts = SplitArgs(arg);
+    if (parts[1] != std::to_string(dst) || parts[2] != msg) {
+      return false;
+    }
+    int seq = send_seq_[dst]++;
+    sendbuf_[dst].push_back({seq, msg});
+    next_++;
+    return true;
+  }
+  if (MatchCall(label, "NetSend", &arg)) {
+    return true;  // Transmission has no local effect; the buffer persists.
+  }
+  if (MatchCall(label, "NetDeliver", &arg)) {
+    std::vector<std::string> parts = SplitArgs(arg);
+    if (parts.size() != 4) {
+      return false;
+    }
+    int src = std::stoi(parts[0]);
+    int seq = std::stoi(parts[2]);
+    const std::string& msg = parts[3];
+    int& want = expected_[src];
+    if (seq == want) {
+      ready_.push_back({src, msg});
+      want++;
+    }
+    // Duplicates and out-of-order arrivals are consumed without effect; the
+    // sender's retransmissions (NetSend) eventually fill the gap.
+    return true;
+  }
+  if (MatchCall(label, "ADeliver", &arg)) {
+    std::vector<std::string> parts = SplitArgs(arg);
+    if (ready_.empty() || parts.size() != 3 ||
+        parts[1] != std::to_string(ready_.front().first) || parts[2] != ready_.front().second) {
+      return false;
+    }
+    ready_.pop_front();
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Ioa> FifoProtocolSpec::Clone() const {
+  return std::make_unique<FifoProtocolSpec>(*this);
+}
+
+std::string FifoProtocolSpec::StateString() const {
+  std::ostringstream os;
+  os << "p" << process_ << "{next=" << next_ << " ready=";
+  for (const auto& [src, msg] : ready_) {
+    os << src << ":" << msg << "|";
+  }
+  os << " exp=";
+  for (const auto& [src, e] : expected_) {
+    os << src << ":" << e << "|";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::unique_ptr<Ioa> ComposeFifoSystem(
+    const std::vector<std::vector<std::pair<int, std::string>>>& scripts) {
+  auto sys = std::make_unique<CompositeIoa>();
+  for (size_t p = 0; p < scripts.size(); p++) {
+    sys->Add(std::make_unique<FifoProtocolSpec>(static_cast<int>(p), scripts[p]));
+  }
+  sys->Add(std::make_unique<LossyNetworkSpec>("Net", /*external=*/false));
+  return sys;
+}
+
+// ---------------------------------------------------------------------------
+// TotalOrderSpec
+// ---------------------------------------------------------------------------
+
+std::vector<Ioa::Action> TotalOrderSpec::Enabled() const {
+  std::vector<Action> out;
+  for (const std::string& m : pending_) {
+    out.push_back({"Commit(" + m + ")", false});
+  }
+  for (int p = 0; p < members_; p++) {
+    auto it = delivered_.find(p);
+    size_t done = it == delivered_.end() ? 0 : it->second;
+    if (done < committed_.size()) {
+      out.push_back({"TDeliver(" + std::to_string(p) + "," + committed_[done] + ")", true});
+    }
+  }
+  return out;
+}
+
+bool TotalOrderSpec::Handles(const std::string& label) const {
+  std::string arg;
+  return MatchCall(label, "Cast", &arg) || MatchCall(label, "Commit", &arg) ||
+         MatchCall(label, "TDeliver", &arg);
+}
+
+bool TotalOrderSpec::Apply(const std::string& label) {
+  std::string arg;
+  if (MatchCall(label, "Cast", &arg)) {
+    // Cast(p,m): the caster's identity does not matter to the order.
+    std::vector<std::string> parts = SplitArgs(arg);
+    pending_.insert(parts.size() == 2 ? parts[1] : arg);
+    return true;
+  }
+  if (MatchCall(label, "Commit", &arg)) {
+    auto it = pending_.find(arg);
+    if (it == pending_.end()) {
+      return false;
+    }
+    pending_.erase(it);
+    committed_.push_back(arg);
+    return true;
+  }
+  if (MatchCall(label, "TDeliver", &arg)) {
+    std::vector<std::string> parts = SplitArgs(arg);
+    if (parts.size() != 2) {
+      return false;
+    }
+    int p = std::stoi(parts[0]);
+    size_t done = delivered_[p];
+    if (done >= committed_.size() || committed_[done] != parts[1]) {
+      return false;
+    }
+    delivered_[p] = done + 1;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Ioa> TotalOrderSpec::Clone() const {
+  return std::make_unique<TotalOrderSpec>(*this);
+}
+
+std::string TotalOrderSpec::StateString() const {
+  std::ostringstream os;
+  os << "to{";
+  for (const std::string& m : committed_) {
+    os << m << "|";
+  }
+  os << " pend=" << pending_.size() << " del=";
+  for (const auto& [p, n] : delivered_) {
+    os << p << ":" << n << "|";
+  }
+  os << "}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// TokenTotalModel
+// ---------------------------------------------------------------------------
+
+std::vector<Ioa::Action> TokenTotalModel::Enabled() const {
+  std::vector<Action> out;
+  for (size_t p = 0; p < scripts_.size(); p++) {
+    if (next_script_[p] < scripts_[p].size()) {
+      out.push_back(
+          {"Cast(" + std::to_string(p) + "," + scripts_[p][next_script_[p]] + ")", true});
+    }
+    if (!ready_[p].empty()) {
+      out.push_back({"TDeliver(" + std::to_string(p) + "," + ready_[p].front() + ")", true});
+    }
+    for (const auto& [g, m] : net_) {
+      out.push_back({"NetDeliver(" + std::to_string(p) + "," + std::to_string(g) + "," + m +
+                         ")",
+                     false});
+    }
+  }
+  return out;
+}
+
+bool TokenTotalModel::Handles(const std::string& label) const {
+  std::string arg;
+  return MatchCall(label, "Cast", &arg) || MatchCall(label, "NetDeliver", &arg) ||
+         MatchCall(label, "TDeliver", &arg);
+}
+
+void TokenTotalModel::Drain(size_t p) {
+  auto& hb = holdback_[p];
+  while (true) {
+    auto it = hb.find(expected_[p]);
+    if (it == hb.end()) {
+      break;
+    }
+    ready_[p].push_back(it->second);
+    hb.erase(it);
+    expected_[p]++;
+  }
+}
+
+bool TokenTotalModel::Apply(const std::string& label) {
+  std::string arg;
+  if (MatchCall(label, "Cast", &arg)) {
+    std::vector<std::string> parts = SplitArgs(arg);
+    size_t p = static_cast<size_t>(std::stoi(parts[0]));
+    if (next_script_[p] >= scripts_[p].size() || scripts_[p][next_script_[p]] != parts[1]) {
+      return false;
+    }
+    next_script_[p]++;
+    // The (conceptual) token holder stamps the global sequence number at
+    // cast time; the broadcast network then reorders freely.
+    net_.insert({gseq_next_++, parts[1]});
+    return true;
+  }
+  if (MatchCall(label, "NetDeliver", &arg)) {
+    std::vector<std::string> parts = SplitArgs(arg);
+    if (parts.size() != 3) {
+      return false;
+    }
+    size_t p = static_cast<size_t>(std::stoi(parts[0]));
+    uint32_t g = static_cast<uint32_t>(std::stoul(parts[1]));
+    const std::string& m = parts[2];
+    if (net_.find({g, m}) == net_.end()) {
+      return false;
+    }
+    if (buggy_) {
+      // THE BUG (total_buggy): `>=` where the protocol needs `==`.
+      if (g >= expected_[p]) {
+        ready_[p].push_back(m);
+        expected_[p] = g + 1;
+      }
+    } else {
+      if (g >= expected_[p] && holdback_[p].find(g) == holdback_[p].end()) {
+        holdback_[p][g] = m;
+        Drain(p);
+      }
+    }
+    return true;
+  }
+  if (MatchCall(label, "TDeliver", &arg)) {
+    std::vector<std::string> parts = SplitArgs(arg);
+    size_t p = static_cast<size_t>(std::stoi(parts[0]));
+    if (ready_[p].empty() || ready_[p].front() != parts[1]) {
+      return false;
+    }
+    ready_[p].pop_front();
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Ioa> TokenTotalModel::Clone() const {
+  return std::make_unique<TokenTotalModel>(*this);
+}
+
+std::string TokenTotalModel::StateString() const {
+  std::ostringstream os;
+  os << "tt{g=" << gseq_next_;
+  for (size_t p = 0; p < expected_.size(); p++) {
+    os << " e" << p << "=" << expected_[p] << "/r" << ready_[p].size();
+  }
+  os << " net=" << net_.size() << "}";
+  return os.str();
+}
+
+}  // namespace ensemble

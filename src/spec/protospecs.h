@@ -1,0 +1,114 @@
+// Concrete protocol specifications (paper §3.1, Figure 3) and the total-
+// order specifications behind the §3 bug story.
+//
+//   FifoProtocolSpec — one participant of "a communication protocol that
+//     retransmits messages, removes duplicates, and delivers messages in
+//     order"; composed with LossyNetworkSpec("Net") instances per Figure 3's
+//     prototype, its executions refine the (pairwise) FIFO network spec.
+//
+//   TotalOrderSpec — abstract totally-ordered multicast: an internal Commit
+//     action nondeterministically fixes the global order; members deliver
+//     committed prefixes.
+//
+//   TokenTotalModel — a self-contained model of the token-sequencer total
+//     order protocol over a reordering network.  With `buggy=true` it uses
+//     the `>=` delivery condition of total_buggy (the paper's "subtle bug"):
+//     refinement against TotalOrderSpec then fails with a counterexample.
+
+#ifndef ENSEMBLE_SRC_SPEC_PROTOSPECS_H_
+#define ENSEMBLE_SRC_SPEC_PROTOSPECS_H_
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/spec/ioa.h"
+
+namespace ensemble {
+
+class FifoProtocolSpec : public Ioa {
+ public:
+  // `process`: this participant's id.  `script`: the (dst, msg) pairs the
+  // application will send, in order.
+  FifoProtocolSpec(int process, std::vector<std::pair<int, std::string>> script)
+      : process_(process), script_(std::move(script)) {}
+
+  std::string name() const override { return "FifoProtocol(" + std::to_string(process_) + ")"; }
+  std::vector<Action> Enabled() const override;
+  bool Handles(const std::string& label) const override;
+  bool Apply(const std::string& label) override;
+  std::unique_ptr<Ioa> Clone() const override;
+  std::string StateString() const override;
+
+ private:
+  int process_;
+  std::vector<std::pair<int, std::string>> script_;
+  size_t next_ = 0;
+  std::map<int, int> send_seq_;                               // dst -> next seqno.
+  std::map<int, std::vector<std::pair<int, std::string>>> sendbuf_;  // dst -> (seq,msg).
+  std::map<int, int> expected_;                               // src -> next expected.
+  std::deque<std::pair<int, std::string>> ready_;             // (src, msg) to deliver.
+};
+
+// Builds the Figure-3 composition: n FifoProtocolSpec participants over a
+// "Net"-prefixed LossyNetworkSpec.  scripts[p] is participant p's send list.
+std::unique_ptr<Ioa> ComposeFifoSystem(
+    const std::vector<std::vector<std::pair<int, std::string>>>& scripts);
+
+class TotalOrderSpec : public Ioa {
+ public:
+  explicit TotalOrderSpec(int members) : members_(members) {}
+
+  std::string name() const override { return "TotalOrder"; }
+  std::vector<Action> Enabled() const override;
+  bool Handles(const std::string& label) const override;
+  bool Apply(const std::string& label) override;
+  std::unique_ptr<Ioa> Clone() const override;
+  std::string StateString() const override;
+
+ private:
+  int members_;
+  std::multiset<std::string> pending_;   // Cast but not yet ordered.
+  std::vector<std::string> committed_;   // The agreed global order.
+  std::map<int, size_t> delivered_;      // member -> prefix length delivered.
+};
+
+class TokenTotalModel : public Ioa {
+ public:
+  // scripts[p]: messages member p will cast, in order.
+  TokenTotalModel(std::vector<std::vector<std::string>> scripts, bool buggy)
+      : scripts_(std::move(scripts)), buggy_(buggy) {
+    expected_.assign(scripts_.size(), 0);
+    next_script_.assign(scripts_.size(), 0);
+    ready_.resize(scripts_.size());
+    holdback_.resize(scripts_.size());
+  }
+
+  std::string name() const override {
+    return buggy_ ? "TokenTotal(buggy)" : "TokenTotal(correct)";
+  }
+  std::vector<Action> Enabled() const override;
+  bool Handles(const std::string& label) const override;
+  bool Apply(const std::string& label) override;
+  std::unique_ptr<Ioa> Clone() const override;
+  std::string StateString() const override;
+
+ private:
+  void Drain(size_t p);
+
+  std::vector<std::vector<std::string>> scripts_;
+  bool buggy_;
+  std::vector<size_t> next_script_;
+  uint32_t gseq_next_ = 0;
+  // In-flight (gseq, msg) per destination member — the reordering network.
+  std::vector<std::map<uint32_t, std::string>> holdback_;  // Arrived, undelivered.
+  std::multiset<std::pair<uint32_t, std::string>> net_;
+  std::vector<uint32_t> expected_;
+  std::vector<std::deque<std::string>> ready_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_SPEC_PROTOSPECS_H_

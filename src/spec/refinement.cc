@@ -1,0 +1,163 @@
+#include "src/spec/refinement.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+
+namespace ensemble {
+
+namespace {
+
+// Expands a set of spec states with everything reachable through internal
+// actions (bounded).
+void InternalClosure(std::vector<std::unique_ptr<Ioa>>& states, size_t bound) {
+  std::set<std::string> seen;
+  for (const auto& s : states) {
+    seen.insert(s->StateString());
+  }
+  for (size_t i = 0; i < states.size() && states.size() < bound; i++) {
+    for (const Ioa::Action& a : states[i]->Enabled()) {
+      if (a.external) {
+        continue;
+      }
+      std::unique_ptr<Ioa> next = states[i]->Clone();
+      next->Apply(a.label);
+      if (seen.insert(next->StateString()).second) {
+        states.push_back(std::move(next));
+        if (states.size() >= bound) {
+          return;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool SpecAcceptsTrace(const Ioa& spec, const std::vector<std::string>& trace,
+                      size_t internal_closure, size_t* failed_at) {
+  std::vector<std::unique_ptr<Ioa>> states;
+  states.push_back(spec.Clone());
+  for (size_t step = 0; step < trace.size(); step++) {
+    InternalClosure(states, internal_closure);
+    std::vector<std::unique_ptr<Ioa>> next;
+    std::set<std::string> seen;
+    for (const auto& s : states) {
+      // Specs are acceptors with open action alphabets (e.g. FifoNetwork's
+      // Send takes any message), so acceptance is by Apply — whose contract
+      // is to refuse when the precondition fails — not by enumeration.
+      std::unique_ptr<Ioa> applied = s->Clone();
+      if (applied->Apply(trace[step]) &&
+          seen.insert(applied->StateString()).second) {
+        next.push_back(std::move(applied));
+      }
+    }
+    if (next.empty()) {
+      if (failed_at != nullptr) {
+        *failed_at = step;
+      }
+      return false;
+    }
+    states = std::move(next);
+  }
+  return true;
+}
+
+RefinementResult CheckTraceInclusionExhaustive(const Ioa& impl, const Ioa& spec,
+                                               size_t depth, size_t internal_closure,
+                                               size_t max_states) {
+  RefinementResult result;
+  struct Node {
+    std::unique_ptr<Ioa> state;
+    std::vector<std::string> trace;
+    size_t actions = 0;
+  };
+  std::vector<Node> frontier;
+  frontier.push_back({impl.Clone(), {}, 0});
+  // Dedup on (state, trace): two paths reaching the same state with the same
+  // external trace are interchangeable for trace inclusion.
+  std::set<std::string> seen;
+  seen.insert(impl.StateString());
+  size_t explored = 0;
+
+  while (!frontier.empty()) {
+    Node node = std::move(frontier.back());
+    frontier.pop_back();
+    explored++;
+    if (explored > max_states) {
+      result.detail = "state cap reached; exhaustive only up to the visited frontier";
+      return result;
+    }
+    // Check the trace so far (prefix-closed: checking leaves is not enough
+    // because a bad prefix may deadlock before reaching the depth bound).
+    result.executions++;
+    result.total_trace_steps += node.trace.size();
+    size_t failed_at = 0;
+    if (!SpecAcceptsTrace(spec, node.trace, internal_closure, &failed_at)) {
+      result.holds = false;
+      result.counterexample = node.trace;
+      result.failed_at = failed_at;
+      result.detail = "exhaustive search found a violating trace";
+      return result;
+    }
+    if (node.actions >= depth) {
+      continue;
+    }
+    for (const Ioa::Action& a : node.state->Enabled()) {
+      std::unique_ptr<Ioa> next = node.state->Clone();
+      if (!next->Apply(a.label)) {
+        continue;
+      }
+      std::vector<std::string> trace = node.trace;
+      if (a.external) {
+        trace.push_back(a.label);
+      }
+      std::string key = next->StateString();
+      for (const std::string& t : trace) {
+        key += "|" + t;
+      }
+      if (!seen.insert(std::move(key)).second) {
+        continue;
+      }
+      frontier.push_back({std::move(next), std::move(trace), node.actions + 1});
+    }
+  }
+  return result;
+}
+
+RefinementResult CheckTraceInclusion(const Ioa& impl, const Ioa& spec,
+                                     const RefinementOptions& options) {
+  RefinementResult result;
+  for (size_t e = 0; e < options.executions; e++) {
+    Execution exec = RandomExecution(impl, options.seed + e, options.max_steps);
+    std::vector<std::string> trace;
+    trace.reserve(exec.trace.size());
+    for (const std::string& label : exec.trace) {
+      if (options.relabel) {
+        std::string mapped = options.relabel(label);
+        if (!mapped.empty()) {
+          trace.push_back(std::move(mapped));
+        }
+      } else {
+        trace.push_back(label);
+      }
+    }
+    result.executions++;
+    result.total_trace_steps += trace.size();
+    size_t failed_at = 0;
+    if (!SpecAcceptsTrace(spec, trace, options.internal_closure, &failed_at)) {
+      result.holds = false;
+      result.counterexample = trace;
+      result.failed_at = failed_at;
+      std::ostringstream os;
+      os << "execution " << e << " (seed " << options.seed + e << "): spec cannot take '"
+         << trace[failed_at] << "' at trace position " << failed_at;
+      result.detail = os.str();
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace ensemble

@@ -1,0 +1,64 @@
+// Refinement (trace inclusion) checking.
+//
+// Paper §3.1: "We then have to show that any execution of this composed
+// specification, which is an abstract specification, is also an execution of
+// FifoNetwork."  Executions of the implementation automaton are generated
+// randomly (seeded); each external trace is replayed against the abstract
+// specification with a subset construction over the specification's internal
+// actions — if at some point no specification state can take the next
+// external action, the trace is not included and a counterexample is
+// reported.
+
+#ifndef ENSEMBLE_SRC_SPEC_REFINEMENT_H_
+#define ENSEMBLE_SRC_SPEC_REFINEMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/spec/ioa.h"
+
+namespace ensemble {
+
+struct RefinementResult {
+  bool holds = true;
+  size_t executions = 0;
+  size_t total_trace_steps = 0;
+  // On failure: the offending trace and the step at which the spec got stuck.
+  std::vector<std::string> counterexample;
+  size_t failed_at = 0;
+  std::string detail;
+};
+
+struct RefinementOptions {
+  size_t executions = 50;      // Random implementation executions to try.
+  size_t max_steps = 200;      // Length bound per execution.
+  size_t internal_closure = 64;  // Bound on spec internal-step exploration.
+  uint64_t seed = 1;
+  // Optional relabeling from implementation external labels to spec labels;
+  // labels mapped to "" are hidden (treated as internal).
+  std::function<std::string(const std::string&)> relabel;
+};
+
+// Checks: every (sampled) trace of `impl` is a trace of `spec`.
+RefinementResult CheckTraceInclusion(const Ioa& impl, const Ioa& spec,
+                                     const RefinementOptions& options);
+
+// Replays one concrete trace against the spec (exposed for tests).
+bool SpecAcceptsTrace(const Ioa& spec, const std::vector<std::string>& trace,
+                      size_t internal_closure, size_t* failed_at);
+
+// Exhaustive bounded check: walks EVERY execution of `impl` up to `depth`
+// actions (breadth-first over distinct states) and verifies each external
+// trace against the spec.  Unlike the sampling checker this is a guarantee
+// within the bound — the right tool for small models such as the §3
+// total-order bug.  `max_states` caps the exploration (result.detail notes
+// when the cap was hit, in which case the check was exhaustive only up to
+// the visited frontier).
+RefinementResult CheckTraceInclusionExhaustive(const Ioa& impl, const Ioa& spec,
+                                               size_t depth, size_t internal_closure,
+                                               size_t max_states = 200000);
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_SPEC_REFINEMENT_H_

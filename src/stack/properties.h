@@ -1,0 +1,83 @@
+// Properties, layer traits, the stack-calculation algorithm, and the
+// adjacency checker.
+//
+// Paper §3.2: "the Ensemble system contains an algorithm for calculating
+// stacks given the set of properties that an application requires.  This
+// algorithm encodes knowledge of the protocol designers" — here that
+// knowledge is the LayerTraits table: what each micro-protocol provides,
+// what it requires from the layers below it, and its canonical position.
+//
+// The same table drives the adjacency check, the tractable per-pair
+// discipline of §3.2: "for each pair p and q of adjacent protocol layers
+// (p below q), every execution of p.Above is also an execution of q.Below" —
+// approximated at the property level: everything a layer requires of its
+// environment must be provided by some layer below it.
+
+#ifndef ENSEMBLE_SRC_STACK_PROPERTIES_H_
+#define ENSEMBLE_SRC_STACK_PROPERTIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/event/types.h"
+
+namespace ensemble {
+
+// Guarantee bits an application can request and layers can provide.
+enum Property : uint32_t {
+  kPropNet = 1u << 0,           // Raw datagram access (bottom).
+  kPropReliableMcast = 1u << 1,
+  kPropFifoMcast = 1u << 2,
+  kPropReliableP2P = 1u << 3,
+  kPropFifoP2P = 1u << 4,
+  kPropTotalOrder = 1u << 5,
+  kPropFlowMcast = 1u << 6,
+  kPropFlowP2P = 1u << 7,
+  kPropFragmentation = 1u << 8,
+  kPropStability = 1u << 9,
+  kPropSelfDelivery = 1u << 10,
+  kPropFailureDetect = 1u << 11,
+  kPropElection = 1u << 12,
+  kPropFlush = 1u << 13,
+  kPropMembership = 1u << 14,
+  kPropPrivacy = 1u << 15,
+  kPropAuth = 1u << 16,
+  kPropAppInterface = 1u << 17,
+};
+using PropertySet = uint32_t;
+
+std::string PropertySetToString(PropertySet props);
+
+struct LayerTraits {
+  LayerId id = LayerId::kNone;
+  PropertySet provides = 0;
+  PropertySet requires_below = 0;
+  // Canonical depth: smaller = nearer the application.  The builder emits
+  // layers sorted by this; the adjacency checker flags order inversions.
+  int position = 0;
+};
+
+const LayerTraits& TraitsFor(LayerId id);
+
+// Result of checking or building a stack.
+struct StackCheck {
+  bool ok = true;
+  std::vector<std::string> errors;
+  std::string ToString() const;
+};
+
+// Verifies the per-pair discipline over a stack given top-first: every
+// layer's requirements are provided strictly below it, the stack is ordered
+// consistently with canonical positions, bottom is last, and exactly one
+// application-interface layer is on top.
+StackCheck CheckAdjacency(const std::vector<LayerId>& layers_top_first);
+
+// The stack-calculation algorithm: returns a layer list (top first)
+// providing all requested properties, or an empty list with errors when the
+// request cannot be satisfied from the library.
+std::vector<LayerId> BuildStackForProperties(PropertySet requested, StackCheck* check);
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_STACK_PROPERTIES_H_

@@ -1,0 +1,52 @@
+#include "src/trans/transport.h"
+
+#include <cstring>
+
+namespace ensemble {
+
+Transport::UpResult Transport::DispatchUp(const Bytes& datagram) const {
+  UpResult result;
+  if (datagram.empty()) {
+    return result;
+  }
+  uint8_t tag = datagram[0];
+  if (tag == kWireGeneric) {
+    Event ev;
+    if (!GenericUnmarshal(datagram, &ev)) {
+      return result;
+    }
+    result.kind = UpKind::kStackEvent;
+    result.ev = std::move(ev);
+    return result;
+  }
+  if (tag == kWireCompressed) {
+    result.via_bypass = true;
+    // [tag u8][conn u32][origin u8][vars...][payload]
+    if (conns_ == nullptr || datagram.size() < 6) {
+      return result;
+    }
+    uint32_t conn_id;
+    std::memcpy(&conn_id, datagram.data() + 1, 4);
+    Rank origin = static_cast<Rank>(datagram[5]);
+    RoutePair* route = conns_->Find(conn_id);
+    if (route == nullptr) {
+      return result;  // Unknown connection (stale view): drop.
+    }
+    Event out;
+    switch (route->TryUp(datagram, 6, origin, &out)) {
+      case RoutePair::UpResult::kDelivered:
+        result.kind = UpKind::kDelivered;
+        result.ev = std::move(out);
+        return result;
+      case RoutePair::UpResult::kFallback:
+        result.kind = UpKind::kStackEvent;
+        result.ev = std::move(out);
+        return result;
+      case RoutePair::UpResult::kBad:
+        return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace ensemble

@@ -1,0 +1,53 @@
+// Transport — the marshaling boundary below the protocol stack (paper Fig. 4:
+// "The Transport module below the protocol stack provides marshaling of
+// messages").
+//
+// Down: an event emitted by the bottom layer (full header stack) is marshaled
+// with the generic codec.  Up: a received datagram is dispatched on its first
+// byte — generic datagrams are unmarshaled into full events for the normal
+// stack, compressed datagrams are routed through the connection table to a
+// compiled bypass (which either delivers directly or reconstructs a full
+// event when its CCP fails).
+
+#ifndef ENSEMBLE_SRC_TRANS_TRANSPORT_H_
+#define ENSEMBLE_SRC_TRANS_TRANSPORT_H_
+
+#include "src/bypass/conn_table.h"
+#include "src/event/event.h"
+#include "src/marshal/generic_codec.h"
+
+namespace ensemble {
+
+class Transport {
+ public:
+  explicit Transport(ConnTable* conns = nullptr) : conns_(conns) {}
+
+  // Down path: wire form of a bottom-emitted event.  The first Iovec part is
+  // the marshaled header block; the rest alias the payload (scatter-gather).
+  Iovec MarshalDown(const Event& ev, Rank sender_rank) const {
+    return GenericMarshal(ev, sender_rank);
+  }
+
+  // Up-path dispatch result.
+  enum class UpKind {
+    kStackEvent,  // `ev` must be fed to the normal stack's Up path.
+    kDelivered,   // A bypass delivered `ev` directly to the application.
+    kDrop,        // Malformed / unknown connection: drop.
+  };
+  struct UpResult {
+    UpKind kind = UpKind::kDrop;
+    Event ev;
+    bool via_bypass = false;  // Diagnostics: compressed-path datagram.
+  };
+
+  UpResult DispatchUp(const Bytes& datagram) const;
+
+  void set_conn_table(ConnTable* conns) { conns_ = conns; }
+
+ private:
+  ConnTable* conns_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_TRANS_TRANSPORT_H_

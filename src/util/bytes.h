@@ -1,0 +1,166 @@
+// Refcounted byte buffers and scatter-gather vectors.
+//
+// Ensemble avoided OCaml garbage-collection pressure by running all message
+// payloads through a single pre-allocated string managed by its own allocator
+// (paper §4, optimization 1) and by using scatter-gather I/O to avoid copying
+// (optimization 2 and the flat Figure-6 curves).  The C++ analog is a slab
+// pool (`BufferPool`) handing out refcounted slices (`Bytes`) that can be
+// sliced and concatenated without copying (`Iovec`).
+
+#ifndef ENSEMBLE_SRC_UTIL_BYTES_H_
+#define ENSEMBLE_SRC_UTIL_BYTES_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ensemble {
+
+class BufferPool;
+
+// A contiguous, heap- or pool-backed, refcounted chunk of memory.
+// Not part of the public surface; Bytes below is the user-facing slice.
+struct BufferChunk {
+  std::atomic<uint32_t> refs{1};
+  BufferPool* pool = nullptr;  // Owning pool, or nullptr for plain heap chunks.
+  uint32_t capacity = 0;
+  // Payload bytes follow the struct in memory.
+  uint8_t* data() { return reinterpret_cast<uint8_t*>(this + 1); }
+  const uint8_t* data() const { return reinterpret_cast<const uint8_t*>(this + 1); }
+};
+
+// An immutable, refcounted slice of a BufferChunk.  Copying a Bytes bumps a
+// refcount; no payload bytes are copied.  The empty Bytes owns nothing.
+class Bytes {
+ public:
+  Bytes() = default;
+  ~Bytes() { Release(); }
+
+  Bytes(const Bytes& other) : chunk_(other.chunk_), off_(other.off_), len_(other.len_) {
+    Acquire();
+  }
+  Bytes(Bytes&& other) noexcept : chunk_(other.chunk_), off_(other.off_), len_(other.len_) {
+    other.chunk_ = nullptr;
+    other.off_ = 0;
+    other.len_ = 0;
+  }
+  Bytes& operator=(const Bytes& other) {
+    if (this != &other) {
+      Release();
+      chunk_ = other.chunk_;
+      off_ = other.off_;
+      len_ = other.len_;
+      Acquire();
+    }
+    return *this;
+  }
+  Bytes& operator=(Bytes&& other) noexcept {
+    if (this != &other) {
+      Release();
+      chunk_ = other.chunk_;
+      off_ = other.off_;
+      len_ = other.len_;
+      other.chunk_ = nullptr;
+      other.off_ = 0;
+      other.len_ = 0;
+    }
+    return *this;
+  }
+
+  // Copies `len` bytes from `data` into a freshly allocated chunk.
+  static Bytes Copy(const void* data, size_t len);
+  static Bytes CopyString(std::string_view s) { return Copy(s.data(), s.size()); }
+  // Allocates an uninitialized writable chunk; caller fills via MutableData()
+  // before sharing.  (The only window in which a Bytes is mutable.)
+  static Bytes Allocate(size_t len);
+  // Wraps a chunk handed out by a BufferPool.  Takes ownership of one ref.
+  static Bytes FromChunk(BufferChunk* chunk, size_t off, size_t len);
+
+  const uint8_t* data() const { return chunk_ ? chunk_->data() + off_ : nullptr; }
+  uint8_t* MutableData() { return chunk_ ? chunk_->data() + off_ : nullptr; }
+  size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  uint8_t operator[](size_t i) const { return data()[i]; }
+
+  // Sub-slice [pos, pos+n); clamps to the slice bounds.  O(1), no copy.
+  Bytes Slice(size_t pos, size_t n = SIZE_MAX) const;
+
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(data()), len_};
+  }
+  std::string ToString() const { return std::string(view()); }
+
+  bool operator==(const Bytes& other) const {
+    return len_ == other.len_ && (len_ == 0 || std::memcmp(data(), other.data(), len_) == 0);
+  }
+
+ private:
+  void Acquire() {
+    if (chunk_ != nullptr) {
+      chunk_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void Release();
+
+  BufferChunk* chunk_ = nullptr;
+  uint32_t off_ = 0;
+  uint32_t len_ = 0;
+};
+
+// A scatter-gather vector: an ordered list of Bytes slices that logically
+// concatenate into one payload.  Mirrors the iovec arrays Ensemble hands to
+// the UNIX scatter-gather socket interface.
+class Iovec {
+ public:
+  Iovec() = default;
+  explicit Iovec(Bytes one) { Append(std::move(one)); }
+
+  void Append(Bytes b) {
+    if (!b.empty()) {
+      total_ += b.size();
+      parts_.push_back(std::move(b));
+    }
+  }
+  void Append(const Iovec& other) {
+    for (const auto& p : other.parts_) {
+      Append(p);
+    }
+  }
+  void Prepend(Bytes b) {
+    if (!b.empty()) {
+      total_ += b.size();
+      parts_.insert(parts_.begin(), std::move(b));
+    }
+  }
+
+  size_t size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  size_t part_count() const { return parts_.size(); }
+  const Bytes& part(size_t i) const { return parts_[i]; }
+
+  // Flattens into one contiguous Bytes.  The slow path; the fast paths keep
+  // the parts separate all the way to the wire.
+  Bytes Flatten() const;
+
+  // Logical sub-range as a new Iovec (no copy; slices parts).
+  Iovec SubRange(size_t pos, size_t n) const;
+
+  bool ContentEquals(const Iovec& other) const;
+
+  void Clear() {
+    parts_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::vector<Bytes> parts_;
+  size_t total_ = 0;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_UTIL_BYTES_H_

@@ -1,0 +1,35 @@
+// FNV-1a hashing helpers, used for state digests (equivalence checking),
+// connection-id derivation, and the sign layer's toy MAC.
+
+#ifndef ENSEMBLE_SRC_UTIL_HASH_H_
+#define ENSEMBLE_SRC_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ensemble {
+
+constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001B3ull;
+
+inline uint64_t FnvMix(uint64_t h, const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; i++) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t FnvMixU64(uint64_t h, uint64_t v) { return FnvMix(h, &v, sizeof(v)); }
+
+inline uint64_t FnvHash(const void* data, size_t len) {
+  return FnvMix(kFnvOffset, data, len);
+}
+
+inline uint64_t FnvHash(std::string_view s) { return FnvHash(s.data(), s.size()); }
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_UTIL_HASH_H_

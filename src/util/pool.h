@@ -1,0 +1,71 @@
+// Slab buffer pool: the C++ analog of Ensemble's custom message allocator.
+//
+// Chunks of a fixed size class are recycled through a freelist instead of
+// round-tripping through the general-purpose allocator for every message
+// (paper §4, optimization 1: "The Ensemble distribution now has its own
+// message allocator ... Ensemble is itself responsible for freeing
+// messages").  Allocation counters feed the ablation bench.
+
+#ifndef ENSEMBLE_SRC_UTIL_POOL_H_
+#define ENSEMBLE_SRC_UTIL_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bytes.h"
+
+namespace ensemble {
+
+struct PoolStats {
+  uint64_t allocations = 0;   // Chunks handed out.
+  uint64_t fresh_chunks = 0;  // Chunks that had to come from the heap.
+  uint64_t recycled = 0;      // Chunks served from the freelist.
+  uint64_t returned = 0;      // Chunks released back to the pool.
+};
+
+// Fixed-size-class chunk pool.  Not thread-safe: Ensemble stacks are
+// single-threaded by design (the paper: per-layer threads cost too much in
+// context switches), so each stack owns its pool.
+class BufferPool {
+ public:
+  // `chunk_size` is the payload capacity of every chunk.
+  explicit BufferPool(size_t chunk_size = kDefaultChunkSize);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Allocates a writable Bytes of exactly `len` (<= chunk_size() for pooled
+  // service; larger requests fall through to the heap).
+  Bytes Allocate(size_t len);
+
+  size_t chunk_size() const { return chunk_size_; }
+  const PoolStats& stats() const { return stats_; }
+  size_t free_count() const { return free_.size(); }
+
+  // Internal: called by Bytes release when the last ref drops.
+  void Recycle(BufferChunk* chunk);
+
+  static constexpr size_t kDefaultChunkSize = 4096;
+
+ private:
+  BufferChunk* NewChunk();
+
+  size_t chunk_size_;
+  std::vector<BufferChunk*> free_;
+  PoolStats stats_;
+};
+
+// Process-wide counters for plain heap chunk traffic, so benches can report
+// "allocations avoided" for the pooled configuration.
+struct HeapBufferStats {
+  uint64_t heap_allocations = 0;
+  uint64_t heap_frees = 0;
+  uint64_t bytes_copied = 0;  // Payload bytes memcpy'd by Bytes::Copy/Flatten.
+};
+HeapBufferStats& GlobalHeapBufferStats();
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_UTIL_POOL_H_

@@ -1,0 +1,63 @@
+// Deterministic PRNG (xoshiro256**) used by every randomized component:
+// lossy networks, spec explorers, property tests.  All randomness in the
+// system flows from explicit seeds so every failure reproduces.
+
+#ifndef ENSEMBLE_SRC_UTIL_RNG_H_
+#define ENSEMBLE_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace ensemble {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t* s = state_;
+    uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 yields 0.
+  uint64_t Below(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0,1).
+  double Double() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // True with probability p.
+  bool Chance(double p) { return Double() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_UTIL_RNG_H_

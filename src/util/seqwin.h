@@ -1,0 +1,114 @@
+// Sequence-number window bookkeeping shared by the sliding-window layers
+// (pt2pt, mnak).  Tracks which sequence numbers at or above a low-water mark
+// have been seen, slides the mark over contiguous runs, and reports holes
+// (the NAK set for mnak).
+
+#ifndef ENSEMBLE_SRC_UTIL_SEQWIN_H_
+#define ENSEMBLE_SRC_UTIL_SEQWIN_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace ensemble {
+
+using Seqno = uint64_t;
+
+class SeqWindow {
+ public:
+  // `low` is the next expected in-order sequence number.
+  explicit SeqWindow(Seqno low = 0) : low_(low) {}
+
+  Seqno low() const { return low_; }
+
+  // Highest seqno marked so far + 1, i.e. the exclusive upper bound of what
+  // the peer has sent as far as we know.
+  Seqno high() const { return low_ + seen_.size(); }
+
+  bool Seen(Seqno s) const {
+    if (s < low_) {
+      return true;
+    }
+    size_t idx = static_cast<size_t>(s - low_);
+    return idx < seen_.size() && seen_[idx];
+  }
+
+  // Marks `s` as received.  Returns false when `s` is a duplicate (already
+  // seen or below the window).
+  bool Mark(Seqno s) {
+    if (s < low_) {
+      return false;
+    }
+    size_t idx = static_cast<size_t>(s - low_);
+    if (idx >= seen_.size()) {
+      seen_.resize(idx + 1, false);
+    }
+    if (seen_[idx]) {
+      return false;
+    }
+    seen_[idx] = true;
+    return true;
+  }
+
+  // Advances the low-water mark over exactly one seen entry.  Returns false
+  // when the entry at `low` has not been seen.
+  bool SlideOne() {
+    if (seen_.empty() || !seen_.front()) {
+      return false;
+    }
+    seen_.pop_front();
+    low_++;
+    return true;
+  }
+
+  // Advances the low-water mark over any contiguous prefix of seen entries.
+  // Returns how many entries were consumed.
+  size_t Slide() {
+    size_t n = 0;
+    while (n < seen_.size() && seen_[n]) {
+      n++;
+    }
+    if (n > 0) {
+      seen_.erase(seen_.begin(), seen_.begin() + static_cast<long>(n));
+      low_ += n;
+    }
+    return n;
+  }
+
+  // Widens the window so that high() >= bound without marking anything:
+  // the new entries become holes.  Used when a sender advertises its send
+  // watermark — unreceived suffixes turn into NAKable holes.
+  void ExtendTo(Seqno bound) {
+    if (bound > low_ + seen_.size()) {
+      seen_.resize(static_cast<size_t>(bound - low_), false);
+    }
+  }
+
+  // Sequence numbers in [low, high) that are missing — the NAK set.
+  std::vector<Seqno> Holes() const {
+    std::vector<Seqno> holes;
+    for (size_t i = 0; i < seen_.size(); i++) {
+      if (!seen_[i]) {
+        holes.push_back(low_ + i);
+      }
+    }
+    return holes;
+  }
+
+  bool HasHoles() const {
+    for (bool b : seen_) {
+      if (!b) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  Seqno low_;
+  std::deque<bool> seen_;  // seen_[i] covers seqno low_ + i.
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_UTIL_SEQWIN_H_

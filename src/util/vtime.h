@@ -1,0 +1,24 @@
+// Virtual time for the discrete-event simulator.  All protocol timers and
+// network latencies are expressed in VTime ticks (nanoseconds of simulated
+// time); nothing in the protocol code reads a wall clock, which keeps every
+// run deterministic.
+
+#ifndef ENSEMBLE_SRC_UTIL_VTIME_H_
+#define ENSEMBLE_SRC_UTIL_VTIME_H_
+
+#include <cstdint>
+
+namespace ensemble {
+
+// Simulated nanoseconds since simulation start.
+using VTime = uint64_t;
+
+constexpr VTime kVTimeNever = ~0ull;
+
+constexpr VTime Micros(uint64_t us) { return us * 1000; }
+constexpr VTime Millis(uint64_t ms) { return ms * 1000 * 1000; }
+constexpr VTime Seconds(uint64_t s) { return s * 1000ull * 1000ull * 1000ull; }
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_UTIL_VTIME_H_

@@ -1,0 +1,73 @@
+// Test scaffolding for driving one micro-protocol layer in isolation:
+// collects everything the layer emits in each direction, with convenience
+// constructors for initialized views.
+
+#ifndef ENSEMBLE_TESTS_LAYER_TESTER_H_
+#define ENSEMBLE_TESTS_LAYER_TESTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+class CollectSink : public EventSink {
+ public:
+  void PassUp(Event ev) override { up.push_back(std::move(ev)); }
+  void PassDn(Event ev) override { dn.push_back(std::move(ev)); }
+  std::vector<Event> up;
+  std::vector<Event> dn;
+  void Clear() {
+    up.clear();
+    dn.clear();
+  }
+};
+
+class LayerTester {
+ public:
+  // Creates the layer and initializes it with an n-member view in which this
+  // instance is `my_rank` (endpoint ids are 1..n).
+  LayerTester(LayerId id, int nmembers, Rank my_rank, LayerParams params = {})
+      : layer_(CreateLayer(id, params)) {
+    auto view = std::make_shared<View>();
+    view->vid = ViewId{0, 1};
+    for (int i = 0; i < nmembers; i++) {
+      view->members.push_back(EndpointId{static_cast<uint64_t>(i + 1)});
+    }
+    layer_->SetSelf(EndpointId{static_cast<uint64_t>(my_rank + 1)});
+    layer_->Up(Event::Init(view), sink_);
+    sink_.Clear();
+  }
+
+  // Drives one event and returns the emissions (also kept in up()/dn()).
+  CollectSink& Dn(Event ev) {
+    sink_.Clear();
+    layer_->Dn(std::move(ev), sink_);
+    return sink_;
+  }
+  CollectSink& Up(Event ev) {
+    sink_.Clear();
+    layer_->Up(std::move(ev), sink_);
+    return sink_;
+  }
+
+  Layer& layer() { return *layer_; }
+  template <typename T>
+  T& As() {
+    return static_cast<T&>(*layer_);
+  }
+  const std::vector<Event>& up() const { return sink_.up; }
+  const std::vector<Event>& dn() const { return sink_.dn; }
+
+  static Iovec Payload(std::string_view text) { return Iovec(Bytes::CopyString(text)); }
+
+ private:
+  std::unique_ptr<Layer> layer_;
+  CollectSink sink_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_TESTS_LAYER_TESTER_H_

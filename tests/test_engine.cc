@@ -1,0 +1,242 @@
+// Unit tests: the IMP and FUNC execution engines, exercised with synthetic
+// layers so the engine semantics (dispatch order, re-entrancy, bounce and
+// split trace shapes) are pinned down independent of real protocols.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/stack/engine.h"
+
+namespace ensemble {
+namespace {
+
+// Tags passing events with its name so tests can observe traversal order.
+class TraceLayer : public Layer {
+ public:
+  TraceLayer(LayerId id, std::string tag, std::vector<std::string>* log)
+      : Layer(id), tag_(std::move(tag)), log_(log) {}
+
+  void Dn(Event ev, EventSink& sink) override {
+    log_->push_back(tag_ + ".dn");
+    sink.PassDn(std::move(ev));
+  }
+  void Up(Event ev, EventSink& sink) override {
+    log_->push_back(tag_ + ".up");
+    sink.PassUp(std::move(ev));
+  }
+
+ private:
+  std::string tag_;
+  std::vector<std::string>* log_;
+};
+
+// Bounces every down-going cast back up as a delivery (in addition to
+// passing it on) — the paper's "bouncing events" shape.
+class BounceLayer : public Layer {
+ public:
+  explicit BounceLayer(LayerId id) : Layer(id) {}
+  void Dn(Event ev, EventSink& sink) override {
+    if (ev.type == EventType::kCast) {
+      sink.PassUp(Event::DeliverCast(0, ev.payload));
+    }
+    sink.PassDn(std::move(ev));
+  }
+  void Up(Event ev, EventSink& sink) override { sink.PassUp(std::move(ev)); }
+};
+
+// Splits every down-going cast into `n` copies — "trace splitting".
+class SplitLayer : public Layer {
+ public:
+  SplitLayer(LayerId id, int n) : Layer(id), n_(n) {}
+  void Dn(Event ev, EventSink& sink) override {
+    if (ev.type == EventType::kCast) {
+      for (int i = 0; i < n_; i++) {
+        Event copy;
+        copy.type = ev.type;
+        copy.payload = ev.payload;
+        sink.PassDn(std::move(copy));
+      }
+      return;
+    }
+    sink.PassDn(std::move(ev));
+  }
+  void Up(Event ev, EventSink& sink) override { sink.PassUp(std::move(ev)); }
+
+ private:
+  int n_;
+};
+
+template <typename StackT>
+struct EngineFixture {
+  std::vector<std::string> log;
+  std::vector<Event> dn_out;
+  std::vector<Event> up_out;
+  std::unique_ptr<StackT> stack;
+
+  explicit EngineFixture(std::vector<std::unique_ptr<Layer>> layers) {
+    stack = std::make_unique<StackT>(std::move(layers), EndpointId{1});
+    stack->set_dn_out([this](Event ev) { dn_out.push_back(std::move(ev)); });
+    stack->set_up_out([this](Event ev) { up_out.push_back(std::move(ev)); });
+  }
+};
+
+template <typename StackT>
+void TestLinearTraversalOrder() {
+  std::vector<std::string> log;
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.push_back(std::make_unique<TraceLayer>(LayerId::kTestLinear, "a", &log));
+  layers.push_back(std::make_unique<TraceLayer>(LayerId::kTestBounce, "b", &log));
+  layers.push_back(std::make_unique<TraceLayer>(LayerId::kTestSplit, "c", &log));
+  EngineFixture<StackT> f(std::move(layers));
+  f.log = {};
+
+  f.stack->Down(Event::Cast(Iovec()));
+  // Top -> bottom.
+  std::vector<std::string> down_order(log.begin(), log.end());
+  EXPECT_EQ(down_order, (std::vector<std::string>{"a.dn", "b.dn", "c.dn"}));
+  EXPECT_EQ(f.dn_out.size(), 1u);
+
+  log.clear();
+  f.stack->Up(Event::DeliverCast(0, Iovec()));
+  EXPECT_EQ(log, (std::vector<std::string>{"c.up", "b.up", "a.up"}));
+  EXPECT_EQ(f.up_out.size(), 1u);
+}
+
+TEST(ImperativeEngineTest, LinearTraversalOrder) {
+  TestLinearTraversalOrder<ImperativeStack>();
+}
+TEST(FunctionalEngineTest, LinearTraversalOrder) {
+  TestLinearTraversalOrder<FunctionalStack>();
+}
+
+template <typename StackT>
+void TestBounceReachesAppAndWire() {
+  std::vector<std::string> log;
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.push_back(std::make_unique<TraceLayer>(LayerId::kTestLinear, "top", &log));
+  layers.push_back(std::make_unique<BounceLayer>(LayerId::kTestBounce));
+  layers.push_back(std::make_unique<TraceLayer>(LayerId::kTestSplit, "bot", &log));
+  EngineFixture<StackT> f(std::move(layers));
+
+  f.stack->Down(Event::Cast(Iovec(Bytes::CopyString("m"))));
+  // The cast reaches the wire AND a bounced delivery reaches the app, having
+  // traversed the layer above the bouncer.
+  ASSERT_EQ(f.dn_out.size(), 1u);
+  ASSERT_EQ(f.up_out.size(), 1u);
+  EXPECT_EQ(f.up_out[0].type, EventType::kDeliverCast);
+  EXPECT_NE(std::find(log.begin(), log.end(), "top.up"), log.end());
+}
+
+TEST(ImperativeEngineTest, BounceShape) { TestBounceReachesAppAndWire<ImperativeStack>(); }
+TEST(FunctionalEngineTest, BounceShape) { TestBounceReachesAppAndWire<FunctionalStack>(); }
+
+template <typename StackT>
+void TestSplitShape() {
+  std::vector<std::string> log;
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.push_back(std::make_unique<SplitLayer>(LayerId::kTestSplit, 3));
+  layers.push_back(std::make_unique<TraceLayer>(LayerId::kTestLinear, "below", &log));
+  EngineFixture<StackT> f(std::move(layers));
+
+  f.stack->Down(Event::Cast(Iovec()));
+  EXPECT_EQ(f.dn_out.size(), 3u);
+  EXPECT_EQ(log.size(), 3u);  // Each copy traversed the lower layer.
+}
+
+TEST(ImperativeEngineTest, SplitShape) { TestSplitShape<ImperativeStack>(); }
+TEST(FunctionalEngineTest, SplitShape) { TestSplitShape<FunctionalStack>(); }
+
+TEST(ImperativeEngineTest, RingGrowsUnderEventStorm) {
+  // A splitter with a huge fanout overflows the initial ring; the ring must
+  // grow without losing or reordering events.
+  std::vector<std::string> log;
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.push_back(std::make_unique<SplitLayer>(LayerId::kTestSplit, 500));
+  EngineFixture<ImperativeStack> f(std::move(layers));
+  f.stack->Down(Event::Cast(Iovec()));
+  EXPECT_EQ(f.dn_out.size(), 500u);
+}
+
+template <typename StackT>
+void TestReentrantDownFromUpHandler() {
+  // A layer that, on delivery, immediately sends a response downward — the
+  // send-after-deliver pattern; engines must handle re-entrant emission.
+  class ResponderLayer : public Layer {
+   public:
+    explicit ResponderLayer(LayerId id) : Layer(id) {}
+    void Dn(Event ev, EventSink& sink) override { sink.PassDn(std::move(ev)); }
+    void Up(Event ev, EventSink& sink) override {
+      sink.PassDn(Event::Cast(Iovec(Bytes::CopyString("response"))));
+      sink.PassUp(std::move(ev));
+    }
+  };
+  std::vector<std::unique_ptr<Layer>> layers;
+  layers.push_back(std::make_unique<ResponderLayer>(LayerId::kTestBounce));
+  EngineFixture<StackT> f(std::move(layers));
+
+  f.stack->Up(Event::DeliverCast(0, Iovec()));
+  ASSERT_EQ(f.up_out.size(), 1u);
+  ASSERT_EQ(f.dn_out.size(), 1u);
+  EXPECT_EQ(f.dn_out[0].payload.Flatten().view(), "response");
+}
+
+TEST(ImperativeEngineTest, ReentrantEmission) {
+  TestReentrantDownFromUpHandler<ImperativeStack>();
+}
+TEST(FunctionalEngineTest, ReentrantEmission) {
+  TestReentrantDownFromUpHandler<FunctionalStack>();
+}
+
+TEST(EngineParityTest, BothEnginesProduceSameBoundaryEvents) {
+  // The two engines must be observationally equivalent on the real 10-layer
+  // stack (scheduling differs; boundary traffic must not).
+  for (int msgs = 1; msgs <= 8; msgs++) {
+    LayerParams params;
+    params.local_loopback = true;
+    auto imp = BuildStack(EngineKind::kImperative, TenLayerStack(), params, EndpointId{1});
+    auto fun = BuildStack(EngineKind::kFunctional, TenLayerStack(), params, EndpointId{1});
+    auto view = std::make_shared<View>();
+    view->vid = ViewId{0, 1};
+    view->members = {EndpointId{1}, EndpointId{2}};
+
+    // Relative order within each direction must agree (the engines may
+    // interleave the two directions differently: FIFO scheduler vs DFS).
+    std::vector<std::string> imp_dn, imp_up, fun_dn, fun_up;
+    imp->set_dn_out([&](Event ev) { imp_dn.push_back(ev.ToString()); });
+    imp->set_up_out([&](Event ev) { imp_up.push_back(ev.ToString()); });
+    fun->set_dn_out([&](Event ev) { fun_dn.push_back(ev.ToString()); });
+    fun->set_up_out([&](Event ev) { fun_up.push_back(ev.ToString()); });
+    imp->Init(view);
+    fun->Init(view);
+    for (int i = 0; i < msgs; i++) {
+      Iovec payload(Bytes::CopyString("m" + std::to_string(i)));
+      imp->Down(Event::Cast(payload));
+      fun->Down(Event::Cast(payload));
+    }
+    EXPECT_EQ(imp_dn, fun_dn) << "dn diverged at msgs=" << msgs;
+    EXPECT_EQ(imp_up, fun_up) << "up diverged at msgs=" << msgs;
+  }
+}
+
+TEST(StackShapesTest, CanonicalStacksAreWellFormed) {
+  EXPECT_EQ(TenLayerStack().size(), 10u);
+  EXPECT_EQ(FourLayerStack().size(), 4u);
+  EXPECT_EQ(TenLayerStack().back(), LayerId::kBottom);
+  EXPECT_EQ(FourLayerStack().back(), LayerId::kBottom);
+  for (LayerId id : TenLayerStack()) {
+    EXPECT_TRUE(LayerIsRegistered(id)) << LayerIdName(id);
+  }
+}
+
+TEST(StackTest, FindLayerLocatesById) {
+  LayerParams params;
+  auto stack = BuildStack(EngineKind::kFunctional, TenLayerStack(), params, EndpointId{1});
+  EXPECT_NE(stack->FindLayer(LayerId::kMnak), nullptr);
+  EXPECT_EQ(stack->FindLayer(LayerId::kSuspect), nullptr);
+  EXPECT_EQ(stack->depth(), 10u);
+  EXPECT_EQ(stack->layer(9)->id(), LayerId::kBottom);
+}
+
+}  // namespace
+}  // namespace ensemble

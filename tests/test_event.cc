@@ -1,0 +1,150 @@
+// Unit tests: events, header stacks, views.
+
+#include <gtest/gtest.h>
+
+#include "src/event/event.h"
+#include "src/layers/mnak.h"
+#include "src/layers/total.h"
+
+namespace ensemble {
+namespace {
+
+TEST(ViewTest, RankOfFindsMembers) {
+  View v;
+  v.members = {EndpointId{10}, EndpointId{20}, EndpointId{30}};
+  EXPECT_EQ(v.RankOf(EndpointId{10}), 0);
+  EXPECT_EQ(v.RankOf(EndpointId{30}), 2);
+  EXPECT_EQ(v.RankOf(EndpointId{99}), kNoRank);
+  EXPECT_EQ(v.nmembers(), 3);
+}
+
+TEST(ViewTest, ViewIdOrdering) {
+  ViewId a{1, 5};
+  ViewId b{1, 6};
+  ViewId c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (ViewId{1, 5}));
+}
+
+TEST(EventTest, FactoriesSetFields) {
+  Event cast = Event::Cast(Iovec(Bytes::CopyString("p")));
+  EXPECT_EQ(cast.type, EventType::kCast);
+  EXPECT_EQ(cast.payload.size(), 1u);
+
+  Event send = Event::Send(3, Iovec());
+  EXPECT_EQ(send.type, EventType::kSend);
+  EXPECT_EQ(send.dest, 3);
+
+  Event timer = Event::Timer(Millis(7));
+  EXPECT_EQ(timer.type, EventType::kTimer);
+  EXPECT_EQ(timer.time, Millis(7));
+
+  Event dc = Event::DeliverCast(2, Iovec());
+  EXPECT_EQ(dc.type, EventType::kDeliverCast);
+  EXPECT_EQ(dc.origin, 2);
+  EXPECT_TRUE(dc.IsMessage());
+  EXPECT_FALSE(timer.IsMessage());
+}
+
+TEST(EventTest, ToStringMentionsKeyFields) {
+  Event ev = Event::Send(4, Iovec(Bytes::CopyString("abc")));
+  ev.origin = 1;
+  std::string s = ev.ToString();
+  EXPECT_NE(s.find("Send"), std::string::npos);
+  EXPECT_NE(s.find("dst=4"), std::string::npos);
+  EXPECT_NE(s.find("len=3"), std::string::npos);
+}
+
+TEST(HeaderStackTest, PushPopRoundTrip) {
+  HeaderStack h;
+  h.Push(LayerId::kMnak, MnakHeader{kMnakData, 7, 0, 0});
+  h.Push(LayerId::kTotal, TotalHeader{kTotalData, 42});
+  EXPECT_EQ(h.depth(), 2u);
+  EXPECT_EQ(h.TopLayer(), LayerId::kTotal);
+
+  TotalHeader t = h.Pop<TotalHeader>(LayerId::kTotal);
+  EXPECT_EQ(t.gseq, 42u);
+  MnakHeader m = h.Pop<MnakHeader>(LayerId::kMnak);
+  EXPECT_EQ(m.seqno, 7u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(HeaderStackTest, PeekDoesNotPop) {
+  HeaderStack h;
+  h.Push(LayerId::kMnak, MnakHeader{kMnakData, 9, 0, 0});
+  MnakHeader peeked;
+  EXPECT_TRUE(h.PeekTop(LayerId::kMnak, &peeked));
+  EXPECT_EQ(peeked.seqno, 9u);
+  EXPECT_EQ(h.depth(), 1u);
+  TotalHeader wrong;
+  EXPECT_FALSE(h.PeekTop(LayerId::kTotal, &wrong));
+}
+
+TEST(HeaderStackTest, CopySemanticsIndependent) {
+  HeaderStack a;
+  a.Push(LayerId::kMnak, MnakHeader{kMnakData, 1, 0, 0});
+  HeaderStack b = a;
+  b.Push(LayerId::kTotal, TotalHeader{kTotalData, 2});
+  EXPECT_EQ(a.depth(), 1u);
+  EXPECT_EQ(b.depth(), 2u);
+  EXPECT_FALSE(a == b);
+  HeaderStack c = a;
+  EXPECT_TRUE(a == c);
+}
+
+TEST(HeaderStackTest, EqualityComparesContent) {
+  HeaderStack a, b;
+  a.Push(LayerId::kMnak, MnakHeader{kMnakData, 5, 0, 0});
+  b.Push(LayerId::kMnak, MnakHeader{kMnakData, 6, 0, 0});
+  EXPECT_FALSE(a == b);
+  HeaderStack c;
+  c.Push(LayerId::kMnak, MnakHeader{kMnakData, 5, 0, 0});
+  EXPECT_TRUE(a == c);
+}
+
+TEST(HeaderStackTest, EntryIterationBottomFirst) {
+  HeaderStack h;
+  h.Push(LayerId::kTotal, TotalHeader{kTotalData, 1});
+  h.Push(LayerId::kMnak, MnakHeader{kMnakData, 2, 0, 0});
+  ASSERT_EQ(h.entry_count(), 2u);
+  EXPECT_EQ(h.entry(0).layer, LayerId::kTotal);  // Pushed first.
+  EXPECT_EQ(h.entry(1).layer, LayerId::kMnak);
+  EXPECT_GT(h.arena_bytes(), 0u);
+}
+
+TEST(HeaderStackTest, PushRawEquivalentToTypedPushAfterNormalization) {
+  // PushRaw's contract: callers hand it padding-normalized bytes (the
+  // unmarshalers build headers in zeroed scratch buffers).
+  HeaderStack typed, raw;
+  MnakHeader hdr{kMnakData, 33, 1, 2};
+  typed.Push(LayerId::kMnak, hdr);
+  uint8_t buf[sizeof(MnakHeader)];
+  std::memcpy(buf, &hdr, sizeof(hdr));
+  ZeroHeaderPadding(LayerId::kMnak, buf, sizeof(buf));
+  raw.PushRaw(LayerId::kMnak, buf, sizeof(buf));
+  EXPECT_TRUE(typed == raw);
+  MnakHeader out = raw.Pop<MnakHeader>(LayerId::kMnak);
+  EXPECT_EQ(out.seqno, 33u);
+}
+
+TEST(HeaderStackDeathTest, MismatchedPopAborts) {
+  HeaderStack h;
+  h.Push(LayerId::kMnak, MnakHeader{kMnakData, 1, 0, 0});
+  EXPECT_DEATH(h.Pop<TotalHeader>(LayerId::kTotal), "header mismatch");
+  HeaderStack empty;
+  EXPECT_DEATH(empty.Pop<MnakHeader>(LayerId::kMnak), "underflow");
+}
+
+TEST(LayerIdTest, NamesAreDistinctAndStable) {
+  EXPECT_STREQ(LayerIdName(LayerId::kMnak), "mnak");
+  EXPECT_STREQ(LayerIdName(LayerId::kBottom), "bottom");
+  EXPECT_STREQ(EventTypeName(EventType::kDeliverCast), "DeliverCast");
+  // All enum values have a name that is not "?".
+  for (size_t i = 1; i < kLayerIdCount; i++) {
+    EXPECT_STRNE(LayerIdName(static_cast<LayerId>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace ensemble

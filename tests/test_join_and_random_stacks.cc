@@ -1,0 +1,151 @@
+// Tests: administrative member join, and property-based sweeps over random
+// builder-generated stacks (every stack the calculation algorithm can emit
+// must actually deliver correctly).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/app/harness.h"
+#include "src/spec/monitors.h"
+#include "src/stack/properties.h"
+#include "src/util/rng.h"
+
+namespace ensemble {
+namespace {
+
+TEST(JoinTest, NewMemberReceivesPostJoinTraffic) {
+  HarnessConfig config;
+  config.n = 2;
+  config.ep.layers = TenLayerStack();
+  config.ep.params.local_loopback = true;
+  GroupHarness g(config);
+  g.StartAll();
+  g.CastFrom(0, "before-join");
+  g.Run(Millis(20));
+
+  int newcomer = g.AddMember();
+  EXPECT_EQ(newcomer, 2);
+  EXPECT_EQ(g.member(2).view()->nmembers(), 3);
+  EXPECT_EQ(g.member(0).view()->vid, g.member(2).view()->vid);
+
+  g.CastFrom(0, "after-join");
+  g.CastFrom(2, "from-newcomer");
+  g.Run(Millis(50));
+
+  // The newcomer sees post-join traffic but not history.
+  EXPECT_EQ(g.CastPayloadsFrom(2, 0), (std::vector<std::string>{"after-join"}));
+  // Existing members hear the newcomer.
+  EXPECT_EQ(g.CastPayloadsFrom(0, 2), (std::vector<std::string>{"from-newcomer"}));
+  EXPECT_EQ(g.CastPayloadsFrom(1, 2), (std::vector<std::string>{"from-newcomer"}));
+}
+
+TEST(JoinTest, JoinIntoMachGroupRecompilesRoutes) {
+  HarnessConfig config;
+  config.n = 2;
+  config.ep.mode = StackMode::kMachine;
+  config.ep.layers = TenLayerStack();
+  config.ep.params.local_loopback = false;
+  GroupHarness g(config);
+  g.StartAll();
+  g.AddMember();
+  g.CastFrom(0, "to-all-three");
+  g.Run(Millis(30));
+  EXPECT_EQ(g.CastPayloadsFrom(1, 0), (std::vector<std::string>{"to-all-three"}));
+  EXPECT_EQ(g.CastPayloadsFrom(2, 0), (std::vector<std::string>{"to-all-three"}));
+  EXPECT_GT(g.member(0).stats().bypass_down, 0u);
+}
+
+TEST(JoinTest, SequentialJoinsGrowTheGroup) {
+  HarnessConfig config;
+  config.n = 1;
+  config.ep.layers = FourLayerStack();
+  GroupHarness g(config);
+  g.StartAll();
+  for (int i = 0; i < 4; i++) {
+    g.AddMember();
+  }
+  EXPECT_EQ(g.n(), 5);
+  EXPECT_EQ(g.member(0).view()->nmembers(), 5);
+  EXPECT_EQ(g.member(0).view()->vid.counter, 5u);
+  g.CastFrom(4, "from-last");
+  g.Run(Millis(30));
+  for (int m = 0; m < 4; m++) {
+    EXPECT_EQ(g.CastPayloadsFrom(m, 4), (std::vector<std::string>{"from-last"})) << m;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Random builder stacks: generate stacks from random property sets and check
+// that they deliver with the guarantees their properties promise.
+// ---------------------------------------------------------------------------
+
+class RandomStackTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomStackTest, BuilderStacksDeliverReliably) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 6; iter++) {
+    // Random subset of orderable properties, always over reliable multicast.
+    PropertySet props = kPropReliableMcast;
+    if (rng.Chance(0.5)) {
+      props |= kPropTotalOrder;
+    }
+    if (rng.Chance(0.5)) {
+      props |= kPropFragmentation;
+    }
+    if (rng.Chance(0.5)) {
+      props |= kPropFlowMcast;
+    }
+    if (rng.Chance(0.4)) {
+      props |= kPropStability;
+    }
+    if (rng.Chance(0.4)) {
+      props |= kPropPrivacy;
+    }
+    if (rng.Chance(0.4)) {
+      props |= kPropAuth;
+    }
+    if (rng.Chance(0.3)) {
+      props |= kPropSelfDelivery;
+    }
+    StackCheck check;
+    std::vector<LayerId> layers = BuildStackForProperties(props, &check);
+    ASSERT_TRUE(check.ok) << PropertySetToString(props) << ": " << check.ToString();
+
+    bool total_order = (props & kPropTotalOrder) != 0;
+    HarnessConfig config;
+    config.n = 2;
+    config.net = NetworkConfig::Lossy(0.1, 0.05, 0.1, GetParam() * 31 + iter);
+    config.ep.layers = layers;
+    // Multi-sender total order needs self-delivery; single-sender runs do not.
+    config.ep.params.local_loopback = (props & kPropSelfDelivery) != 0;
+    GroupHarness g(config);
+    g.StartAll();
+
+    std::vector<std::vector<std::string>> sent(2);
+    for (int i = 0; i < 15; i++) {
+      // Without loopback under total order, only the token holder casts.
+      int from = (!total_order || config.ep.params.local_loopback) ? i % 2 : 0;
+      sent[static_cast<size_t>(from)].push_back("m" + std::to_string(iter) + "-" +
+                                                std::to_string(i));
+      g.CastFrom(from, sent[static_cast<size_t>(from)].back());
+      g.Run(Micros(600));
+    }
+    g.Run(Millis(800));
+
+    MonitorResult fifo =
+        CheckReliableFifo(g, sent, /*include_self=*/config.ep.params.local_loopback);
+    EXPECT_TRUE(fifo.ok) << PropertySetToString(props) << "\n" << fifo.ToString();
+    EXPECT_TRUE(CheckNoDuplicates(g).ok) << PropertySetToString(props);
+    if (total_order) {
+      MonitorResult agreement = CheckTotalOrderAgreement(g);
+      EXPECT_TRUE(agreement.ok) << PropertySetToString(props) << "\n"
+                                << agreement.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStackTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace ensemble

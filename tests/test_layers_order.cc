@@ -1,0 +1,295 @@
+// Unit tests: ordering & application-side layers (total, collect, local,
+// partial_appl, top, fifo_check).
+
+#include <gtest/gtest.h>
+
+#include "src/layers/collect.h"
+#include "src/marshal/wire.h"
+#include "src/layers/fifo_check.h"
+#include "src/layers/local.h"
+#include "src/layers/partial_appl.h"
+#include "src/layers/total.h"
+#include "tests/layer_tester.h"
+
+namespace ensemble {
+namespace {
+
+Event TotalData(Rank origin, uint32_t gseq, std::string_view payload) {
+  Event ev = Event::DeliverCast(origin, LayerTester::Payload(payload));
+  ev.hdrs.Push(LayerId::kTotal, TotalHeader{kTotalData, gseq});
+  return ev;
+}
+
+// --------------------------------------------------------------------------
+// total
+// --------------------------------------------------------------------------
+
+TEST(TotalTest, HolderStampsGlobalSequence) {
+  LayerTester t(LayerId::kTotal, 2, 0);  // Rank 0 starts with the token.
+  for (uint32_t i = 0; i < 3; i++) {
+    auto& out = t.Dn(Event::Cast(LayerTester::Payload("m")));
+    ASSERT_EQ(out.dn.size(), 1u);
+    TotalHeader hdr = out.dn[0].hdrs.Pop<TotalHeader>(LayerId::kTotal);
+    EXPECT_EQ(hdr.kind, kTotalData);
+    EXPECT_EQ(hdr.gseq, i);
+  }
+}
+
+TEST(TotalTest, NonHolderQueuesAndRequestsToken) {
+  LayerTester t(LayerId::kTotal, 2, 1);  // Rank 1: not the holder.
+  auto& out = t.Dn(Event::Cast(LayerTester::Payload("m")));
+  EXPECT_TRUE(out.dn.size() == 1u);  // The token request, not the cast.
+  EXPECT_EQ(out.dn[0].type, EventType::kSend);
+  EXPECT_EQ(out.dn[0].dest, 0);
+  TotalHeader hdr = out.dn[0].hdrs.Pop<TotalHeader>(LayerId::kTotal);
+  EXPECT_EQ(hdr.kind, kTotalTokenReq);
+  EXPECT_EQ(hdr.gseq, 1u);  // Requester rank rides in gseq.
+  EXPECT_EQ(t.As<TotalLayer>().PendingCasts(), 1u);
+  // Second cast does not re-request.
+  auto& out2 = t.Dn(Event::Cast(LayerTester::Payload("m2")));
+  EXPECT_TRUE(out2.dn.empty());
+}
+
+TEST(TotalTest, HolderPassesTokenToRequester) {
+  LayerTester t(LayerId::kTotal, 2, 0);
+  t.Dn(Event::Cast(LayerTester::Payload("mine")));  // next_gseq -> 1.
+  Event req = Event::DeliverSend(1, Iovec());
+  req.hdrs.Push(LayerId::kTotal, TotalHeader{kTotalTokenReq, 1});
+  auto& out = t.Up(std::move(req));
+  ASSERT_EQ(out.dn.size(), 1u);
+  EXPECT_EQ(out.dn[0].dest, 1);
+  TotalHeader hdr = out.dn[0].hdrs.Pop<TotalHeader>(LayerId::kTotal);
+  EXPECT_EQ(hdr.kind, kTotalTokenPass);
+  EXPECT_EQ(hdr.gseq, 1u);  // Next unused global number travels with it.
+  EXPECT_EQ(t.As<TotalLayer>().fast().token_holder, 1);
+}
+
+TEST(TotalTest, TokenArrivalFlushesPendingInOrder) {
+  LayerTester t(LayerId::kTotal, 2, 1);
+  t.Dn(Event::Cast(LayerTester::Payload("p0")));
+  t.Dn(Event::Cast(LayerTester::Payload("p1")));
+  Event pass = Event::DeliverSend(0, Iovec());
+  pass.hdrs.Push(LayerId::kTotal, TotalHeader{kTotalTokenPass, 5});
+  auto& out = t.Up(std::move(pass));
+  ASSERT_EQ(out.dn.size(), 2u);
+  TotalHeader h0 = out.dn[0].hdrs.Pop<TotalHeader>(LayerId::kTotal);
+  TotalHeader h1 = out.dn[1].hdrs.Pop<TotalHeader>(LayerId::kTotal);
+  EXPECT_EQ(h0.gseq, 5u);
+  EXPECT_EQ(h1.gseq, 6u);
+  EXPECT_EQ(out.dn[0].payload.Flatten().view(), "p0");
+}
+
+TEST(TotalTest, DeliversInGlobalOrderWithHoldback) {
+  LayerTester t(LayerId::kTotal, 2, 1);
+  EXPECT_TRUE(t.Up(TotalData(0, 1, "second")).up.empty());
+  EXPECT_TRUE(t.Up(TotalData(0, 2, "third")).up.empty());
+  auto& out = t.Up(TotalData(0, 0, "first"));
+  ASSERT_EQ(out.up.size(), 3u);
+  EXPECT_EQ(out.up[0].payload.Flatten().view(), "first");
+  EXPECT_EQ(out.up[2].payload.Flatten().view(), "third");
+  EXPECT_TRUE(t.As<TotalLayer>().HoldbackEmpty());
+}
+
+TEST(TotalTest, NonHolderForwardsForeignRequests) {
+  LayerTester t(LayerId::kTotal, 3, 1);
+  // Rank 1 believes rank 0 holds the token; a request from rank 2 arriving
+  // here (stale routing) is forwarded to rank 0 with the requester intact.
+  Event req = Event::DeliverSend(2, Iovec());
+  req.hdrs.Push(LayerId::kTotal, TotalHeader{kTotalTokenReq, 2});
+  auto& out = t.Up(std::move(req));
+  ASSERT_EQ(out.dn.size(), 1u);
+  EXPECT_EQ(out.dn[0].dest, 0);
+  TotalHeader hdr = out.dn[0].hdrs.Pop<TotalHeader>(LayerId::kTotal);
+  EXPECT_EQ(hdr.kind, kTotalTokenReq);
+  EXPECT_EQ(hdr.gseq, 2u);
+}
+
+TEST(TotalTest, PassesUpperSendsWithPassHeader) {
+  LayerTester t(LayerId::kTotal, 2, 0);
+  auto& out = t.Dn(Event::Send(1, LayerTester::Payload("s")));
+  ASSERT_EQ(out.dn.size(), 1u);
+  TotalHeader hdr = out.dn[0].hdrs.Pop<TotalHeader>(LayerId::kTotal);
+  EXPECT_EQ(hdr.kind, kTotalPass);
+}
+
+// --------------------------------------------------------------------------
+// collect
+// --------------------------------------------------------------------------
+
+Event CollectData(Rank origin, uint64_t seq_hint = 0) {
+  Event ev = Event::DeliverCast(origin, LayerTester::Payload("d"));
+  ev.seq_hint = seq_hint;  // Normally stamped by mnak below.
+  ev.hdrs.Push(LayerId::kCollect, CollectHeader{kCollectData});
+  return ev;
+}
+
+TEST(CollectTest, TracksWatermarkPerSender) {
+  LayerParams params;
+  params.stable_interval = 100;
+  LayerTester t(LayerId::kCollect, 3, 0, params);
+  t.Up(CollectData(1, 0));
+  t.Up(CollectData(1, 1));
+  t.Up(CollectData(2, 0));
+  EXPECT_EQ(t.As<CollectLayer>().acks(), (std::vector<uint64_t>{0, 2, 1}));
+  // The watermark is monotone (duplicates / reordering below cannot regress it).
+  t.Up(CollectData(1, 0));
+  EXPECT_EQ(t.As<CollectLayer>().acks()[1], 2u);
+}
+
+TEST(CollectTest, GossipsAfterInterval) {
+  LayerParams params;
+  params.stable_interval = 3;
+  LayerTester t(LayerId::kCollect, 2, 0, params);
+  EXPECT_TRUE(t.Up(CollectData(1, 0)).dn.empty());
+  EXPECT_TRUE(t.Up(CollectData(1, 1)).dn.empty());
+  auto& out = t.Up(CollectData(1, 2));  // Third delivery: gossip round.
+  ASSERT_EQ(out.dn.size(), 1u);
+  EXPECT_EQ(out.dn[0].type, EventType::kCast);
+  CollectHeader hdr = out.dn[0].hdrs.Pop<CollectHeader>(LayerId::kCollect);
+  EXPECT_EQ(hdr.kind, kCollectGossip);
+}
+
+TEST(CollectTest, AggregatesMinimumAndEmitsStable) {
+  LayerParams params;
+  params.stable_interval = 100;
+  LayerTester t(LayerId::kCollect, 2, 0, params);
+  // Peer 1 claims it has received 5 of rank 0's casts and 2 of rank 1's.
+  WireWriter w;
+  w.U16(2);
+  w.U64(5);
+  w.U64(2);
+  Event gossip = Event::DeliverCast(1, Iovec(w.Take()));
+  gossip.hdrs.Push(LayerId::kCollect, CollectHeader{kCollectGossip});
+  auto& out = t.Up(std::move(gossip));
+  // A sender's own row never constrains its own column, so rank 0's casts
+  // are stable up to 5 (the only other member has them); rank 1's column is
+  // constrained by OUR row, which is still 0.
+  const Event* stable = nullptr;
+  for (const Event& ev : out.dn) {
+    if (ev.type == EventType::kStable) {
+      stable = &ev;
+    }
+  }
+  ASSERT_NE(stable, nullptr);
+  EXPECT_EQ(stable->vec, (std::vector<uint64_t>{5, 0}));
+}
+
+TEST(CollectTest, TimerGossipsPendingCounters) {
+  LayerParams params;
+  params.stable_interval = 100;
+  LayerTester t(LayerId::kCollect, 2, 0, params);
+  t.Up(CollectData(1));
+  auto& out = t.Dn(Event::Timer(Millis(1)));
+  bool gossiped = false;
+  for (Event& ev : out.dn) {
+    if (ev.type == EventType::kCast) {
+      gossiped = true;
+    }
+  }
+  EXPECT_TRUE(gossiped);
+  // Quiescent now: no second gossip.
+  auto& out2 = t.Dn(Event::Timer(Millis(2)));
+  for (Event& ev : out2.dn) {
+    EXPECT_NE(ev.type, EventType::kCast);
+  }
+}
+
+// --------------------------------------------------------------------------
+// local
+// --------------------------------------------------------------------------
+
+TEST(LocalTest, LoopbackSplitsCasts) {
+  LayerParams params;
+  params.local_loopback = true;
+  LayerTester t(LayerId::kLocal, 2, 0, params);
+  Event cast = Event::Cast(LayerTester::Payload("self"));
+  cast.hdrs.Push(LayerId::kTotal, TotalHeader{kTotalData, 9});
+  auto& out = t.Dn(std::move(cast));
+  ASSERT_EQ(out.dn.size(), 1u);
+  ASSERT_EQ(out.up.size(), 1u);
+  EXPECT_EQ(out.up[0].type, EventType::kDeliverCast);
+  EXPECT_EQ(out.up[0].origin, 0);
+  // The self-delivery carries the upper headers (total can pop its gseq).
+  TotalHeader hdr = out.up[0].hdrs.Pop<TotalHeader>(LayerId::kTotal);
+  EXPECT_EQ(hdr.gseq, 9u);
+}
+
+TEST(LocalTest, LoopbackOffIsTransparent) {
+  LayerParams params;
+  params.local_loopback = false;
+  LayerTester t(LayerId::kLocal, 2, 0, params);
+  auto& out = t.Dn(Event::Cast(LayerTester::Payload("m")));
+  EXPECT_EQ(out.dn.size(), 1u);
+  EXPECT_TRUE(out.up.empty());
+}
+
+// --------------------------------------------------------------------------
+// partial_appl
+// --------------------------------------------------------------------------
+
+TEST(PartialApplTest, QueuesWhileBlockedReleasesOnView) {
+  LayerTester t(LayerId::kPartialAppl, 2, 0);
+  auto& blocked = t.Up(Event::OfType(EventType::kBlock));
+  // Block travels on up to the app AND is answered with BlockOk downward.
+  EXPECT_EQ(blocked.up.size(), 1u);
+  ASSERT_EQ(blocked.dn.size(), 1u);
+  EXPECT_EQ(blocked.dn[0].type, EventType::kBlockOk);
+
+  EXPECT_TRUE(t.Dn(Event::Cast(LayerTester::Payload("held"))).dn.empty());
+  EXPECT_EQ(t.As<PartialApplLayer>().QueuedWhileBlocked(), 1u);
+
+  auto view = std::make_shared<View>();
+  view->vid = ViewId{0, 2};
+  view->members = {EndpointId{1}, EndpointId{2}};
+  Event nv = Event::OfType(EventType::kView);
+  nv.view = view;
+  auto& out = t.Up(std::move(nv));
+  // The view goes to the app and the held cast is released below.
+  EXPECT_EQ(out.up.size(), 1u);
+  bool released = false;
+  for (const Event& ev : out.dn) {
+    released |= ev.type == EventType::kCast;
+  }
+  EXPECT_TRUE(released);
+  EXPECT_EQ(t.As<PartialApplLayer>().QueuedWhileBlocked(), 0u);
+}
+
+TEST(PartialApplTest, CountsTrafficOffCriticalPath) {
+  LayerTester t(LayerId::kPartialAppl, 2, 0);
+  t.Dn(Event::Cast(LayerTester::Payload("a")));
+  t.Up(Event::DeliverCast(1, LayerTester::Payload("b")));
+  EXPECT_EQ(t.As<PartialApplLayer>().fast().casts, 1u);
+  EXPECT_EQ(t.As<PartialApplLayer>().fast().delivered, 1u);
+}
+
+// --------------------------------------------------------------------------
+// fifo_check
+// --------------------------------------------------------------------------
+
+TEST(FifoCheckTest, CleanStreamHasNoViolations) {
+  LayerTester tx(LayerId::kFifoCheck, 2, 0);
+  LayerTester rx(LayerId::kFifoCheck, 2, 1);
+  for (int i = 0; i < 5; i++) {
+    auto& out = tx.Dn(Event::Cast(LayerTester::Payload("m")));
+    Event up = Event::DeliverCast(0, out.dn[0].payload);
+    up.hdrs = out.dn[0].hdrs;
+    rx.Up(std::move(up));
+  }
+  EXPECT_EQ(rx.As<FifoCheckLayer>().violations(), 0u);
+}
+
+TEST(FifoCheckTest, DetectsGapAndReordering) {
+  LayerTester rx(LayerId::kFifoCheck, 2, 1);
+  auto deliver = [&rx](uint32_t seqno) {
+    Event up = Event::DeliverCast(0, LayerTester::Payload("m"));
+    up.hdrs.Push(LayerId::kFifoCheck, FifoCheckHeader{seqno});
+    rx.Up(std::move(up));
+  };
+  deliver(0);
+  deliver(2);  // Gap.
+  deliver(1);  // Reorder.
+  EXPECT_EQ(rx.As<FifoCheckLayer>().violations(), 2u);
+}
+
+}  // namespace
+}  // namespace ensemble

@@ -1,0 +1,102 @@
+// Unit tests: encrypt and sign layers, plus a full stack including them.
+
+#include <gtest/gtest.h>
+
+#include "src/app/harness.h"
+#include "src/layers/encrypt.h"
+#include "src/layers/sign.h"
+#include "tests/layer_tester.h"
+
+namespace ensemble {
+namespace {
+
+TEST(EncryptTest, CiphertextDiffersFromPlaintext) {
+  LayerTester t(LayerId::kEncrypt, 2, 0);
+  auto& out = t.Dn(Event::Cast(LayerTester::Payload("secret message")));
+  ASSERT_EQ(out.dn.size(), 1u);
+  EXPECT_NE(out.dn[0].payload.Flatten().view(), "secret message");
+  EXPECT_EQ(out.dn[0].payload.size(), 14u);  // Stream cipher: same length.
+}
+
+TEST(EncryptTest, RoundTripRestoresPlaintext) {
+  LayerTester tx(LayerId::kEncrypt, 2, 0);
+  LayerTester rx(LayerId::kEncrypt, 2, 1);
+  auto& out = tx.Dn(Event::Cast(LayerTester::Payload("secret message")));
+  Event up = Event::DeliverCast(0, out.dn[0].payload);
+  up.hdrs = out.dn[0].hdrs;
+  auto& got = rx.Up(std::move(up));
+  ASSERT_EQ(got.up.size(), 1u);
+  EXPECT_EQ(got.up[0].payload.Flatten().view(), "secret message");
+}
+
+TEST(EncryptTest, NoncesDifferPerMessage) {
+  LayerTester t(LayerId::kEncrypt, 2, 0);
+  auto c1 = t.Dn(Event::Cast(LayerTester::Payload("same"))).dn[0].payload.Flatten();
+  auto c2 = t.Dn(Event::Cast(LayerTester::Payload("same"))).dn[0].payload.Flatten();
+  EXPECT_FALSE(c1 == c2);  // Fresh keystream per message.
+}
+
+TEST(EncryptTest, WrongKeyGarbles) {
+  LayerTester tx(LayerId::kEncrypt, 2, 0);
+  LayerTester rx(LayerId::kEncrypt, 2, 1);
+  rx.As<EncryptLayer>().SetKey(0xBAD);
+  auto& out = tx.Dn(Event::Cast(LayerTester::Payload("secret message")));
+  Event up = Event::DeliverCast(0, out.dn[0].payload);
+  up.hdrs = out.dn[0].hdrs;
+  auto& got = rx.Up(std::move(up));
+  ASSERT_EQ(got.up.size(), 1u);
+  EXPECT_NE(got.up[0].payload.Flatten().view(), "secret message");
+}
+
+TEST(SignTest, ValidMacPasses) {
+  LayerTester tx(LayerId::kSign, 2, 0);
+  LayerTester rx(LayerId::kSign, 2, 1);
+  auto& out = tx.Dn(Event::Cast(LayerTester::Payload("attested")));
+  Event up = Event::DeliverCast(0, out.dn[0].payload);
+  up.hdrs = out.dn[0].hdrs;
+  EXPECT_EQ(rx.Up(std::move(up)).up.size(), 1u);
+  EXPECT_EQ(rx.As<SignLayer>().rejected(), 0u);
+}
+
+TEST(SignTest, TamperedPayloadRejected) {
+  LayerTester tx(LayerId::kSign, 2, 0);
+  LayerTester rx(LayerId::kSign, 2, 1);
+  auto& out = tx.Dn(Event::Cast(LayerTester::Payload("attested")));
+  Event up = Event::DeliverCast(0, LayerTester::Payload("attacked"));
+  up.hdrs = out.dn[0].hdrs;
+  EXPECT_TRUE(rx.Up(std::move(up)).up.empty());
+  EXPECT_EQ(rx.As<SignLayer>().rejected(), 1u);
+}
+
+TEST(SignTest, WrongKeyRejected) {
+  LayerTester tx(LayerId::kSign, 2, 0);
+  LayerTester rx(LayerId::kSign, 2, 1);
+  rx.As<SignLayer>().SetKey(0xBAD);
+  auto& out = tx.Dn(Event::Cast(LayerTester::Payload("attested")));
+  Event up = Event::DeliverCast(0, out.dn[0].payload);
+  up.hdrs = out.dn[0].hdrs;
+  EXPECT_TRUE(rx.Up(std::move(up)).up.empty());
+}
+
+TEST(SecurityIntegrationTest, SecureStackDeliversOverLossyNet) {
+  // encrypt + sign above the reliable transport: the "signing and
+  // encryption" functionality the paper lists among Ensemble's layers.
+  HarnessConfig config;
+  config.n = 2;
+  config.net = NetworkConfig::Lossy(0.1, 0.05, 0.1, 321);
+  config.ep.layers = {LayerId::kTop,  LayerId::kEncrypt, LayerId::kSign,
+                      LayerId::kPt2pt, LayerId::kMnak,    LayerId::kBottom};
+  GroupHarness g(config);
+  g.StartAll();
+  std::vector<std::string> sent;
+  for (int i = 0; i < 25; i++) {
+    sent.push_back("classified " + std::to_string(i));
+    g.CastFrom(0, sent.back());
+    g.Run(Micros(600));
+  }
+  g.Run(Millis(400));
+  EXPECT_EQ(g.CastPayloadsFrom(1, 0), sent);
+}
+
+}  // namespace
+}  // namespace ensemble

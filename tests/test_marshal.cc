@@ -1,0 +1,202 @@
+// Unit tests: wire writer/reader, header descriptors, generic codec.
+
+#include <gtest/gtest.h>
+
+#include "src/layers/frag.h"
+#include "src/layers/mnak.h"
+#include "src/layers/total.h"
+#include "src/marshal/generic_codec.h"
+#include "src/marshal/header_desc.h"
+#include "src/marshal/wire.h"
+#include "src/util/rng.h"
+
+namespace ensemble {
+namespace {
+
+TEST(WireTest, WriterReaderRoundTrip) {
+  WireWriter w;
+  w.U8(0xAB);
+  w.U16(0x1234);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFull);
+  w.Raw("xyz", 3);
+  Bytes b = w.Take();
+  EXPECT_EQ(b.size(), 1u + 2 + 4 + 8 + 3);
+
+  WireReader r(b);
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U16(), 0x1234);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  char buf[3];
+  r.Read(buf, 3);
+  EXPECT_EQ(std::string(buf, 3), "xyz");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireTest, ReaderDetectsTruncation) {
+  WireWriter w;
+  w.U16(7);
+  Bytes b = w.Take();
+  WireReader r(b);
+  EXPECT_EQ(r.U16(), 7);
+  EXPECT_EQ(r.U32(), 0u);  // Truncated read yields zero...
+  EXPECT_FALSE(r.ok());    // ...and poisons the reader.
+}
+
+TEST(WireTest, SkipReturnsViewOrNull) {
+  WireWriter w;
+  w.Raw("abcdef", 6);
+  Bytes b = w.Take();
+  WireReader r(b);
+  const uint8_t* p = r.Skip(4);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(std::memcmp(p, "abcd", 4), 0);
+  EXPECT_EQ(r.Skip(5), nullptr);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(HeaderDescTest, RegisteredLayersHaveDescriptors) {
+  const HeaderDescriptor& mnak = HeaderDescriptorFor(LayerId::kMnak);
+  EXPECT_EQ(mnak.size, sizeof(MnakHeader));
+  ASSERT_EQ(mnak.fields.size(), 4u);
+  EXPECT_STREQ(mnak.fields[0].name, "kind");
+  EXPECT_STREQ(mnak.fields[1].name, "seqno");
+  EXPECT_EQ(mnak.fields[1].type, FieldType::kU32);
+  EXPECT_EQ(mnak.fields[1].offset, offsetof(MnakHeader, seqno));
+}
+
+TEST(HeaderDescTest, FieldTypeSizes) {
+  EXPECT_EQ(FieldTypeSize(FieldType::kU8), 1u);
+  EXPECT_EQ(FieldTypeSize(FieldType::kU16), 2u);
+  EXPECT_EQ(FieldTypeSize(FieldType::kU32), 4u);
+  EXPECT_EQ(FieldTypeSize(FieldType::kU64), 8u);
+}
+
+Event MakeCastWithHeaders(std::string_view payload) {
+  Event ev = Event::Cast(Iovec(Bytes::CopyString(payload)));
+  ev.hdrs.Push(LayerId::kTotal, TotalHeader{kTotalData, 42});
+  ev.hdrs.Push(LayerId::kFrag, FragHeader{kFragWhole, 0, 1, 0});
+  ev.hdrs.Push(LayerId::kMnak, MnakHeader{kMnakData, 7, 0, 0});
+  return ev;
+}
+
+TEST(GenericCodecTest, CastRoundTrip) {
+  Event ev = MakeCastWithHeaders("payload!");
+  Iovec wire = GenericMarshal(ev, /*sender_rank=*/3);
+  Event out;
+  ASSERT_TRUE(GenericUnmarshal(wire.Flatten(), &out));
+  EXPECT_EQ(out.type, EventType::kDeliverCast);
+  EXPECT_EQ(out.origin, 3);
+  EXPECT_EQ(out.payload.Flatten().view(), "payload!");
+  ASSERT_TRUE(out.hdrs == ev.hdrs);
+}
+
+TEST(GenericCodecTest, SendRoundTripKeepsDest) {
+  Event ev = Event::Send(5, Iovec(Bytes::CopyString("x")));
+  ev.hdrs.Push(LayerId::kMnak, MnakHeader{kMnakPass, 0, 0, 0});
+  Iovec wire = GenericMarshal(ev, 1);
+  Event out;
+  ASSERT_TRUE(GenericUnmarshal(wire.Flatten(), &out));
+  EXPECT_EQ(out.type, EventType::kDeliverSend);
+  EXPECT_EQ(out.origin, 1);
+  EXPECT_EQ(out.dest, 5);
+}
+
+TEST(GenericCodecTest, EmptyPayloadRoundTrip) {
+  Event ev = Event::Cast(Iovec());
+  ev.hdrs.Push(LayerId::kMnak, MnakHeader{kMnakNak, 0, 3, 9});
+  Iovec wire = GenericMarshal(ev, 0);
+  Event out;
+  ASSERT_TRUE(GenericUnmarshal(wire.Flatten(), &out));
+  EXPECT_TRUE(out.payload.empty());
+  MnakHeader h = out.hdrs.Pop<MnakHeader>(LayerId::kMnak);
+  EXPECT_EQ(h.lo, 3u);
+  EXPECT_EQ(h.hi, 9u);
+}
+
+TEST(GenericCodecTest, PayloadIsZeroCopySliceOfDatagram) {
+  Event ev = MakeCastWithHeaders("0123456789");
+  Bytes datagram = GenericMarshal(ev, 0).Flatten();
+  Event out;
+  ASSERT_TRUE(GenericUnmarshal(datagram, &out));
+  const Bytes& part = out.payload.part(0);
+  EXPECT_GE(part.data(), datagram.data());
+  EXPECT_LT(part.data(), datagram.data() + datagram.size());
+}
+
+TEST(GenericCodecTest, ScatterGatherFirstPartIsHeaderBlock) {
+  Event ev = MakeCastWithHeaders("abc");
+  Iovec wire = GenericMarshal(ev, 0);
+  ASSERT_GE(wire.part_count(), 2u);
+  EXPECT_EQ(wire.part(0)[0], kWireGeneric);
+  // The payload part aliases the original payload buffer (no copy).
+  EXPECT_EQ(wire.part(1).data(), ev.payload.part(0).data());
+}
+
+TEST(GenericCodecTest, RejectsMalformedInput) {
+  Event out;
+  EXPECT_FALSE(GenericUnmarshal(Bytes::CopyString(""), &out));
+  EXPECT_FALSE(GenericUnmarshal(Bytes::CopyString("garbage data"), &out));
+  // Valid prefix, truncated tail.
+  Event ev = MakeCastWithHeaders("abcdef");
+  Bytes good = GenericMarshal(ev, 0).Flatten();
+  Bytes truncated = good.Slice(0, good.size() - 3);
+  EXPECT_FALSE(GenericUnmarshal(truncated, &out));
+  // Corrupted event type.
+  Bytes copy = Bytes::Copy(good.data(), good.size());
+  copy.MutableData()[1] = 0xEE;
+  EXPECT_FALSE(GenericUnmarshal(copy, &out));
+}
+
+TEST(GenericCodecTest, RejectsWrongWireTag) {
+  Event ev = MakeCastWithHeaders("abc");
+  Bytes good = GenericMarshal(ev, 0).Flatten();
+  Bytes copy = Bytes::Copy(good.data(), good.size());
+  copy.MutableData()[0] = kWireCompressed;
+  Event out;
+  EXPECT_FALSE(GenericUnmarshal(copy, &out));
+}
+
+// Property: any header combination round-trips bit-exactly.
+class CodecPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecPropertyTest, RandomHeaderStacksRoundTrip) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 50; iter++) {
+    Event ev = Event::Cast(Iovec(Bytes::CopyString("zz")));
+    int nhdrs = static_cast<int>(rng.Below(4));
+    for (int h = 0; h < nhdrs; h++) {
+      switch (rng.Below(3)) {
+        case 0:
+          ev.hdrs.Push(LayerId::kMnak,
+                       MnakHeader{static_cast<uint8_t>(rng.Below(4)),
+                                  static_cast<uint32_t>(rng.Next()),
+                                  static_cast<uint32_t>(rng.Next()),
+                                  static_cast<uint32_t>(rng.Next())});
+          break;
+        case 1:
+          ev.hdrs.Push(LayerId::kTotal, TotalHeader{static_cast<uint8_t>(rng.Below(3)),
+                                                    static_cast<uint32_t>(rng.Next())});
+          break;
+        default:
+          ev.hdrs.Push(LayerId::kFrag,
+                       FragHeader{static_cast<uint8_t>(rng.Below(2)),
+                                  static_cast<uint16_t>(rng.Next()),
+                                  static_cast<uint16_t>(rng.Next()),
+                                  static_cast<uint32_t>(rng.Next())});
+          break;
+      }
+    }
+    Event out;
+    ASSERT_TRUE(GenericUnmarshal(GenericMarshal(ev, 2).Flatten(), &out));
+    EXPECT_TRUE(out.hdrs == ev.hdrs);
+    EXPECT_TRUE(out.payload.ContentEquals(ev.payload));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest, ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace ensemble

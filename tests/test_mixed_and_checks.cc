@@ -1,0 +1,147 @@
+// Tests: mixed-mode groups (optimized and plain members interoperating) and
+// the total_check checking layer.
+
+#include <gtest/gtest.h>
+
+#include "src/app/harness.h"
+#include "src/layers/total_check.h"
+#include "src/spec/monitors.h"
+#include "tests/layer_tester.h"
+
+namespace ensemble {
+namespace {
+
+TEST(MixedModeGroupTest, MachSenderFuncReceiverRecoveredByNaks) {
+  // A MACH sender broadcasts compressed datagrams; the FUNC member cannot
+  // decode them (no compiled routes) and drops them — but the sender's
+  // watermark advertisements reveal the gap and the NAK retransmissions
+  // travel the generic path, so reliability repairs the mode mismatch.
+  HarnessConfig config;
+  config.n = 3;
+  config.ep.layers = TenLayerStack();
+  config.ep.params.local_loopback = false;
+  config.member_modes = {StackMode::kMachine, StackMode::kMachine, StackMode::kFunctional};
+  GroupHarness g(config);
+  g.StartAll();
+
+  std::vector<std::string> sent;
+  for (int i = 0; i < 12; i++) {
+    sent.push_back("m" + std::to_string(i));
+    g.CastFrom(0, sent.back());
+    g.Run(Millis(1));
+  }
+  g.Run(Millis(400));
+
+  // The MACH peer got everything on the fast path; the FUNC member got
+  // everything via retransmission.
+  EXPECT_EQ(g.CastPayloadsFrom(1, 0), sent);
+  EXPECT_EQ(g.CastPayloadsFrom(2, 0), sent);
+  EXPECT_GT(g.member(1).stats().bypass_up, 0u);
+  EXPECT_EQ(g.member(2).stats().bypass_up, 0u);  // Never decoded compressed.
+}
+
+TEST(MixedModeGroupTest, AllThreeEnginesInOneGroup) {
+  HarnessConfig config;
+  config.n = 3;
+  config.ep.layers = TenLayerStack();
+  config.ep.params.local_loopback = true;
+  config.member_modes = {StackMode::kMachine, StackMode::kImperative,
+                         StackMode::kFunctional};
+  GroupHarness g(config);
+  g.StartAll();
+  std::vector<std::vector<std::string>> sent(3);
+  for (int i = 0; i < 15; i++) {
+    int from = i % 3;
+    sent[static_cast<size_t>(from)].push_back("x" + std::to_string(i));
+    g.CastFrom(from, sent[static_cast<size_t>(from)].back());
+    g.Run(Millis(2));
+  }
+  g.Run(Millis(600));
+  MonitorResult fifo = CheckReliableFifo(g, sent, /*include_self=*/true);
+  EXPECT_TRUE(fifo.ok) << fifo.ToString();
+  MonitorResult agreement = CheckTotalOrderAgreement(g);
+  EXPECT_TRUE(agreement.ok) << agreement.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// total_check
+// ---------------------------------------------------------------------------
+
+TEST(TotalCheckTest, CleanTotallyOrderedRunHasNoViolations) {
+  // 11-layer stack with the checking layer above total.
+  std::vector<LayerId> checked = {LayerId::kPartialAppl, LayerId::kTotalCheck,
+                                  LayerId::kTotal,       LayerId::kLocal,
+                                  LayerId::kCollect,     LayerId::kFrag,
+                                  LayerId::kPt2ptw,      LayerId::kMflow,
+                                  LayerId::kPt2pt,       LayerId::kMnak,
+                                  LayerId::kBottom};
+  HarnessConfig config;
+  config.n = 3;
+  config.net = NetworkConfig::Lossy(0.1, 0.05, 0.1, 71);
+  config.ep.layers = checked;
+  config.ep.params.local_loopback = true;
+  GroupHarness g(config);
+  g.StartAll();
+  for (int i = 0; i < 20; i++) {
+    g.CastFrom(i % 3, "c" + std::to_string(i));
+    g.Run(Millis(1));
+  }
+  g.Run(Millis(600));
+  for (int m = 0; m < 3; m++) {
+    auto* check = static_cast<TotalCheckLayer*>(
+        g.member(m).stack()->FindLayer(LayerId::kTotalCheck));
+    ASSERT_NE(check, nullptr);
+    EXPECT_EQ(check->violations(), 0u) << "member " << m;
+  }
+}
+
+TEST(TotalCheckTest, CatchesBuggyTotalOrderInline) {
+  // The same checked stack but with the buggy ordering layer: the checking
+  // layer must light up on at least one member.
+  std::vector<LayerId> checked = {LayerId::kPartialAppl, LayerId::kTotalCheck,
+                                  LayerId::kTotalBuggy,  LayerId::kLocal,
+                                  LayerId::kCollect,     LayerId::kFrag,
+                                  LayerId::kPt2ptw,      LayerId::kMflow,
+                                  LayerId::kPt2pt,       LayerId::kMnak,
+                                  LayerId::kBottom};
+  HarnessConfig config;
+  config.n = 3;
+  config.net = NetworkConfig::Perfect();
+  config.net.jitter = Micros(300);
+  config.net.seed = 13;
+  config.ep.layers = checked;
+  config.ep.params.local_loopback = true;
+  GroupHarness g(config);
+  g.StartAll();
+  for (int i = 0; i < 30; i++) {
+    g.CastFrom(0, "x" + std::to_string(i));
+    g.CastFrom(1, "y" + std::to_string(i));
+    g.Run(Micros(150));
+  }
+  g.Run(Millis(300));
+  uint64_t total_violations = 0;
+  for (int m = 0; m < 3; m++) {
+    auto* check = static_cast<TotalCheckLayer*>(
+        g.member(m).stack()->FindLayer(LayerId::kTotalCheck));
+    total_violations += check->violations();
+  }
+  EXPECT_GT(total_violations, 0u);
+}
+
+TEST(TotalCheckTest, UnitLevelViolationDetection) {
+  LayerTester t(LayerId::kTotalCheck, 2, 0);
+  // A delivery claiming its sender had already delivered 3 messages, arriving
+  // when we have delivered none: causality under total order is broken.
+  Event ev = Event::DeliverCast(1, LayerTester::Payload("m"));
+  ev.hdrs.Push(LayerId::kTotalCheck, TotalCheckHeader{3});
+  t.Up(std::move(ev));
+  EXPECT_EQ(t.As<TotalCheckLayer>().violations(), 1u);
+  // A consistent one is fine.
+  Event ok = Event::DeliverCast(1, LayerTester::Payload("m"));
+  ok.hdrs.Push(LayerId::kTotalCheck, TotalCheckHeader{1});
+  t.Up(std::move(ok));
+  EXPECT_EQ(t.As<TotalCheckLayer>().violations(), 1u);
+}
+
+}  // namespace
+}  // namespace ensemble

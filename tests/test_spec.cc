@@ -1,0 +1,240 @@
+// Unit tests: the IOA framework, the network and protocol specifications,
+// and the refinement checker (paper §3).
+
+#include <gtest/gtest.h>
+
+#include "src/spec/ioa.h"
+#include "src/spec/netspecs.h"
+#include "src/spec/protospecs.h"
+#include "src/spec/refinement.h"
+
+namespace ensemble {
+namespace {
+
+TEST(FifoNetworkSpecTest, AcceptsFifoTraces) {
+  FifoNetworkSpec spec;
+  size_t failed = 0;
+  EXPECT_TRUE(SpecAcceptsTrace(
+      spec, {"Send(1,a)", "Send(1,b)", "Deliver(1,a)", "Deliver(1,b)"}, 16, &failed));
+}
+
+TEST(FifoNetworkSpecTest, RejectsReorderedDelivery) {
+  FifoNetworkSpec spec;
+  size_t failed = 0;
+  EXPECT_FALSE(SpecAcceptsTrace(
+      spec, {"Send(1,a)", "Send(1,b)", "Deliver(1,b)"}, 16, &failed));
+  EXPECT_EQ(failed, 2u);
+}
+
+TEST(FifoNetworkSpecTest, RejectsDeliveryOfUnsent) {
+  FifoNetworkSpec spec;
+  size_t failed = 0;
+  EXPECT_FALSE(SpecAcceptsTrace(spec, {"Deliver(1,ghost)"}, 16, &failed));
+}
+
+TEST(FifoNetworkSpecTest, GlobalQueueCouplesDestinations) {
+  // Figure 2(a) is a single global queue: a message to destination 2 cannot
+  // overtake an earlier one to destination 1.
+  FifoNetworkSpec spec;
+  size_t failed = 0;
+  EXPECT_FALSE(SpecAcceptsTrace(
+      spec, {"Send(1,a)", "Send(2,b)", "Deliver(2,b)"}, 16, &failed));
+}
+
+TEST(PairwiseFifoSpecTest, IndependentPairsMayInterleave) {
+  PairwiseFifoNetworkSpec spec;
+  size_t failed = 0;
+  EXPECT_TRUE(SpecAcceptsTrace(spec,
+                               {"Send(0,1,a)", "Send(2,1,b)", "Deliver(2,1,b)",
+                                "Deliver(0,1,a)"},
+                               16, &failed));
+  EXPECT_FALSE(SpecAcceptsTrace(
+      spec, {"Send(0,1,a)", "Send(0,1,b)", "Deliver(0,1,b)"}, 16, &failed));
+}
+
+TEST(LossyNetworkSpecTest, AllowsLossDupReorder) {
+  LossyNetworkSpec spec;
+  size_t failed = 0;
+  // Duplication: deliver twice.  Reorder: b before a.  Loss: c never arrives
+  // (traces need not deliver everything).
+  EXPECT_TRUE(SpecAcceptsTrace(spec,
+                               {"Send(a)", "Send(b)", "Send(c)", "Deliver(b)", "Deliver(a)",
+                                "Deliver(a)"},
+                               16, &failed));
+  EXPECT_FALSE(SpecAcceptsTrace(spec, {"Deliver(never-sent)"}, 16, &failed));
+}
+
+TEST(LossyNetworkSpecTest, DropIsInternal) {
+  LossyNetworkSpec spec;
+  spec.Apply("Send(x)");
+  std::vector<Ioa::Action> enabled = spec.Enabled();
+  bool drop_found = false;
+  for (const auto& a : enabled) {
+    if (a.label == "Drop(x)") {
+      EXPECT_FALSE(a.external);
+      drop_found = true;
+    }
+  }
+  EXPECT_TRUE(drop_found);
+  // After the drop, delivery is impossible.
+  EXPECT_TRUE(spec.Apply("Drop(x)"));
+  EXPECT_FALSE(spec.Apply("Deliver(x)"));
+}
+
+TEST(CompositionTest, LabelsSynchronizeAcrossComponents) {
+  // Protocol 0's NetSend is jointly executed with the network's NetSend.
+  auto sys = ComposeFifoSystem({{{1, "m"}}, {}});
+  ASSERT_TRUE(sys->Apply("ASend(0,1,m)"));
+  ASSERT_TRUE(sys->Apply("NetSend(0,1,0,m)"));     // Protocol + network.
+  ASSERT_TRUE(sys->Apply("NetDeliver(0,1,0,m)"));  // Network + protocol 1.
+  ASSERT_TRUE(sys->Apply("ADeliver(1,0,m)"));
+}
+
+TEST(CompositionTest, JointActionRefusedWhenOnePartyDisabled) {
+  auto sys = ComposeFifoSystem({{{1, "m"}}, {}});
+  // NetDeliver of something never NetSent: the network side refuses.
+  EXPECT_FALSE(sys->Apply("NetDeliver(0,1,0,m)"));
+}
+
+TEST(RandomExecutionTest, DeterministicPerSeed) {
+  auto sys = ComposeFifoSystem({{{1, "x"}, {1, "y"}}, {{0, "z"}}});
+  Execution a = RandomExecution(*sys, 123, 60);
+  Execution b = RandomExecution(*sys, 123, 60);
+  EXPECT_EQ(a.trace, b.trace);
+  Execution c = RandomExecution(*sys, 124, 60);
+  EXPECT_TRUE(a.trace != c.trace || a.actions.size() != c.actions.size());
+}
+
+TEST(RandomExecutionTest, CloneIsolatesState) {
+  auto sys = ComposeFifoSystem({{{1, "m"}}, {}});
+  auto clone = sys->Clone();
+  sys->Apply("ASend(0,1,m)");
+  // The clone still has the send enabled (unchanged).
+  EXPECT_TRUE(clone->Apply("ASend(0,1,m)"));
+}
+
+TEST(RefinementTest, FifoSystemRefinesPairwiseFifo) {
+  auto impl = ComposeFifoSystem({{{1, "a"}, {1, "b"}}, {{0, "c"}}});
+  PairwiseFifoNetworkSpec spec;
+  RefinementOptions options;
+  options.executions = 60;
+  options.max_steps = 80;
+  options.relabel = [](const std::string& label) -> std::string {
+    if (label.rfind("ASend(", 0) == 0) {
+      return "Send(" + label.substr(6);
+    }
+    if (label.rfind("ADeliver(", 0) == 0) {
+      std::string arg = label.substr(9, label.size() - 10);
+      size_t c1 = arg.find(',');
+      size_t c2 = arg.find(',', c1 + 1);
+      return "Deliver(" + arg.substr(c1 + 1, c2 - c1 - 1) + "," + arg.substr(0, c1) + "," +
+             arg.substr(c2 + 1) + ")";
+    }
+    return label;
+  };
+  RefinementResult r = CheckTraceInclusion(*impl, spec, options);
+  EXPECT_TRUE(r.holds) << r.detail;
+  EXPECT_GT(r.total_trace_steps, 0u);
+}
+
+TEST(RefinementTest, CorrectTokenTotalRefinesTotalOrder) {
+  TokenTotalModel impl({{"m1", "m2"}, {"m3"}}, /*buggy=*/false);
+  TotalOrderSpec spec(2);
+  RefinementOptions options;
+  options.executions = 120;
+  options.max_steps = 80;
+  RefinementResult r = CheckTraceInclusion(impl, spec, options);
+  EXPECT_TRUE(r.holds) << r.detail;
+}
+
+TEST(RefinementTest, BuggyTokenTotalViolatesTotalOrder) {
+  // The paper's §3 payoff: the `>=` delivery condition is caught with a
+  // concrete counterexample trace.
+  TokenTotalModel impl({{"m1", "m2"}, {"m3", "m4"}}, /*buggy=*/true);
+  TotalOrderSpec spec(2);
+  RefinementOptions options;
+  options.executions = 400;
+  options.max_steps = 80;
+  RefinementResult r = CheckTraceInclusion(impl, spec, options);
+  EXPECT_FALSE(r.holds);
+  EXPECT_FALSE(r.counterexample.empty());
+  EXPECT_LT(r.failed_at, r.counterexample.size());
+}
+
+TEST(RefinementTest, RelabelCanHideActions) {
+  TokenTotalModel impl({{"m"}}, false);
+  TotalOrderSpec spec(1);
+  RefinementOptions options;
+  options.executions = 10;
+  options.max_steps = 30;
+  options.relabel = [](const std::string& label) -> std::string {
+    return label.rfind("TDeliver", 0) == 0 ? "" : label;  // Hide deliveries.
+  };
+  RefinementResult r = CheckTraceInclusion(impl, spec, options);
+  EXPECT_TRUE(r.holds) << r.detail;  // Cast-only traces are trivially fine.
+}
+
+TEST(TotalOrderSpecTest, CommitFixesTheOrder) {
+  TotalOrderSpec spec(2);
+  ASSERT_TRUE(spec.Apply("Cast(0,a)"));
+  ASSERT_TRUE(spec.Apply("Cast(1,b)"));
+  ASSERT_TRUE(spec.Apply("Commit(b)"));
+  ASSERT_TRUE(spec.Apply("Commit(a)"));
+  // Both members must now deliver b first.
+  EXPECT_FALSE(spec.Apply("TDeliver(0,a)"));
+  EXPECT_TRUE(spec.Apply("TDeliver(0,b)"));
+  EXPECT_TRUE(spec.Apply("TDeliver(1,b)"));
+  EXPECT_TRUE(spec.Apply("TDeliver(0,a)"));
+  EXPECT_TRUE(spec.Apply("TDeliver(1,a)"));
+}
+
+TEST(FifoProtocolSpecTest, RetransmissionRecoversFromDrop) {
+  auto sys = ComposeFifoSystem({{{1, "m"}}, {}});
+  ASSERT_TRUE(sys->Apply("ASend(0,1,m)"));
+  ASSERT_TRUE(sys->Apply("NetSend(0,1,0,m)"));
+  ASSERT_TRUE(sys->Apply("NetDrop(0,1,0,m)"));     // The network loses it.
+  EXPECT_FALSE(sys->Apply("NetDeliver(0,1,0,m)"));  // Gone.
+  ASSERT_TRUE(sys->Apply("NetSend(0,1,0,m)"));      // Sender retransmits.
+  ASSERT_TRUE(sys->Apply("NetDeliver(0,1,0,m)"));
+  EXPECT_TRUE(sys->Apply("ADeliver(1,0,m)"));
+}
+
+TEST(FifoProtocolSpecTest, DuplicateDeliveryIgnored) {
+  auto sys = ComposeFifoSystem({{{1, "m"}}, {}});
+  sys->Apply("ASend(0,1,m)");
+  sys->Apply("NetSend(0,1,0,m)");
+  sys->Apply("NetDeliver(0,1,0,m)");
+  sys->Apply("NetDeliver(0,1,0,m)");  // Duplicate: consumed, no effect.
+  EXPECT_TRUE(sys->Apply("ADeliver(1,0,m)"));
+  EXPECT_FALSE(sys->Apply("ADeliver(1,0,m)"));  // Only one delivery.
+}
+
+TEST(ExhaustiveRefinementTest, CorrectModelHoldsWithinBound) {
+  TokenTotalModel impl({{"a"}, {"b"}}, /*buggy=*/false);
+  TotalOrderSpec spec(2);
+  RefinementResult r = CheckTraceInclusionExhaustive(impl, spec, /*depth=*/10,
+                                                     /*internal_closure=*/64);
+  EXPECT_TRUE(r.holds) << r.detail;
+  EXPECT_GT(r.executions, 10u);  // Actually explored a tree, not a line.
+}
+
+TEST(ExhaustiveRefinementTest, BuggyModelViolationIsGuaranteedFound) {
+  // The sampling checker finds this with good probability; the exhaustive
+  // checker finds it deterministically within the bound.
+  TokenTotalModel impl({{"a"}, {"b"}}, /*buggy=*/true);
+  TotalOrderSpec spec(2);
+  RefinementResult r = CheckTraceInclusionExhaustive(impl, spec, /*depth=*/10,
+                                                     /*internal_closure=*/64);
+  EXPECT_FALSE(r.holds);
+  EXPECT_FALSE(r.counterexample.empty());
+}
+
+TEST(CompositeStateStringTest, ReflectsParts) {
+  auto sys = ComposeFifoSystem({{{1, "m"}}, {}});
+  std::string before = sys->StateString();
+  sys->Apply("ASend(0,1,m)");
+  EXPECT_NE(sys->StateString(), before);
+}
+
+}  // namespace
+}  // namespace ensemble

@@ -1,0 +1,132 @@
+// Tests: on-the-fly protocol stack switching (paper §4.1.3 / [25]) and the
+// stable consolidation layer in an 11-layer stack.
+
+#include <gtest/gtest.h>
+
+#include "src/app/harness.h"
+#include "src/layers/stable.h"
+#include "tests/layer_tester.h"
+
+namespace ensemble {
+namespace {
+
+TEST(StackSwitchTest, FourToTenLayerMidRun) {
+  HarnessConfig config;
+  config.n = 2;
+  config.ep.layers = FourLayerStack();
+  // The post-switch 10-layer stack totally orders casts from both members,
+  // which requires self-delivery (see BidirectionalTraffic).
+  config.ep.params.local_loopback = true;
+  GroupHarness g(config);
+  g.StartAll();
+
+  g.CastFrom(0, "before-switch");
+  g.Run(Millis(20));
+  EXPECT_EQ(g.CastPayloads(1), (std::vector<std::string>{"before-switch"}));
+
+  g.SwitchAll(TenLayerStack());
+  EXPECT_EQ(g.member(0).stack()->depth(), 10u);
+  EXPECT_EQ(g.member(0).view()->vid.counter, 2u);
+
+  g.CastFrom(0, "after-switch");
+  g.CastFrom(1, "also-after");
+  g.Run(Millis(50));
+  EXPECT_EQ(g.CastPayloadsFrom(1, 0),
+            (std::vector<std::string>{"before-switch", "after-switch"}));
+  EXPECT_EQ(g.CastPayloadsFrom(0, 1), (std::vector<std::string>{"also-after"}));
+}
+
+TEST(StackSwitchTest, MachRoutesRecompiledForNewStack) {
+  HarnessConfig config;
+  config.n = 2;
+  config.ep.mode = StackMode::kMachine;
+  config.ep.layers = FourLayerStack();
+  config.ep.params.local_loopback = false;
+  GroupHarness g(config);
+  g.StartAll();
+  g.CastFrom(0, "a");
+  g.Run(Millis(20));
+
+  g.SwitchAll(TenLayerStack());
+  g.CastFrom(0, "b");
+  g.Run(Millis(20));
+  EXPECT_EQ(g.CastPayloadsFrom(1, 0), (std::vector<std::string>{"a", "b"}));
+  // The fast path kept working across the switch.
+  EXPECT_EQ(g.member(0).stats().bypass_down, 2u);
+}
+
+TEST(StackSwitchTest, StaleOldViewTrafficDropped) {
+  HarnessConfig config;
+  config.n = 2;
+  config.ep.layers = FourLayerStack();
+  // Big link latency: the pre-switch cast is still in flight at switch time.
+  config.net.latency = Millis(10);
+  GroupHarness g(config);
+  g.StartAll();
+  g.CastFrom(0, "in-flight-at-switch");
+  g.Run(Millis(1));          // Packet on the wire, not yet delivered.
+  g.SwitchAll(TenLayerStack());
+  g.Run(Millis(100));
+  // The old-view datagram must not surface in the new view: its generic
+  // header carries the old view counter (bottom drops it), and its conn id
+  // no longer resolves on the compressed path.
+  EXPECT_TRUE(g.CastPayloads(1).empty());
+}
+
+TEST(StackSwitchTest, RefusesSameViewCounter) {
+  HarnessConfig config;
+  config.n = 1;
+  config.ep.layers = FourLayerStack();
+  GroupHarness g(config);
+  g.StartAll();
+  auto same = std::make_shared<View>();
+  same->vid = ViewId{0, 1};  // Not later than the current view.
+  same->members = {g.member(0).id()};
+  EXPECT_DEATH(g.member(0).SwitchStack(TenLayerStack(), same), "later view");
+}
+
+// ---------------------------------------------------------------------------
+// stable layer
+// ---------------------------------------------------------------------------
+
+TEST(StableLayerTest, ConsolidatesRepeatedVectors) {
+  LayerTester t(LayerId::kStable, 2, 0);
+  Event s1 = Event::OfType(EventType::kStable);
+  s1.vec = {3, 1};
+  EXPECT_EQ(t.Up(std::move(s1)).up.size(), 1u);
+  Event s2 = Event::OfType(EventType::kStable);
+  s2.vec = {3, 1};
+  EXPECT_TRUE(t.Up(std::move(s2)).up.empty());  // No news.
+  Event s3 = Event::OfType(EventType::kStable);
+  s3.vec = {5, 1};
+  EXPECT_EQ(t.Up(std::move(s3)).up.size(), 1u);
+  EXPECT_EQ(t.As<StableLayer>().vector(), (std::vector<uint64_t>{5, 1}));
+  EXPECT_EQ(t.As<StableLayer>().GlobalMin(), 1u);
+}
+
+TEST(StableLayerTest, ElevenLayerStackWithStable) {
+  std::vector<LayerId> eleven = {LayerId::kPartialAppl, LayerId::kTotal, LayerId::kLocal,
+                                 LayerId::kStable,      LayerId::kCollect, LayerId::kFrag,
+                                 LayerId::kPt2ptw,      LayerId::kMflow,  LayerId::kPt2pt,
+                                 LayerId::kMnak,        LayerId::kBottom};
+  HarnessConfig config;
+  config.n = 2;
+  config.ep.layers = eleven;
+  config.ep.params.local_loopback = true;
+  config.ep.params.stable_interval = 4;
+  GroupHarness g(config);
+  g.StartAll();
+  for (int i = 0; i < 16; i++) {
+    g.CastFrom(0, "m" + std::to_string(i));
+    g.Run(Millis(1));
+  }
+  g.Run(Millis(200));
+  EXPECT_EQ(g.CastPayloads(1).size(), 16u);
+  auto* stable = static_cast<StableLayer*>(g.member(0).stack()->FindLayer(LayerId::kStable));
+  ASSERT_NE(stable, nullptr);
+  EXPECT_GT(stable->vector().size(), 0u);
+  EXPECT_GT(stable->vector()[0], 0u);  // Rank 0's casts became stable.
+}
+
+}  // namespace
+}  // namespace ensemble

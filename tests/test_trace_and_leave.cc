@@ -1,0 +1,92 @@
+// Tests: the packet trace tool and graceful group leave.
+
+#include <gtest/gtest.h>
+
+#include "src/app/harness.h"
+#include "src/net/trace.h"
+
+namespace ensemble {
+namespace {
+
+TEST(PacketTraceTest, RecordsAndClassifiesWireTraffic) {
+  HarnessConfig config;
+  config.n = 2;
+  config.ep.mode = StackMode::kMachine;
+  config.ep.layers = TenLayerStack();
+  config.ep.params.local_loopback = false;
+  config.ep.params.stable_interval = 1u << 30;
+  config.ep.timer_interval = 0;  // No protocol chatter: data packets only.
+  GroupHarness g(config);
+  PacketTrace trace;
+  trace.AttachTo(&g.network());
+  g.StartAll();
+  for (int i = 0; i < 5; i++) {
+    g.CastFrom(0, "traced");
+    g.Run(Millis(1));
+  }
+  g.Run(Millis(20));
+
+  ASSERT_EQ(trace.size(), 5u);
+  // MACH steady-state data is entirely compressed.
+  EXPECT_EQ(trace.CountWithTag(kWireCompressed), 5u);
+  EXPECT_EQ(trace.CountWithTag(kWireGeneric), 0u);
+  EXPECT_GT(trace.TotalBytes(), 0u);
+  // Each record names the right endpoints.
+  for (const auto& r : trace.records()) {
+    EXPECT_EQ(r.src.id, 1u);
+    EXPECT_EQ(r.dst.id, 2u);
+  }
+  std::string dump = trace.Dump();
+  EXPECT_NE(dump.find("compressed"), std::string::npos);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(PacketTraceTest, FuncTrafficIsGenericAndBigger) {
+  HarnessConfig config;
+  config.n = 2;
+  config.ep.mode = StackMode::kFunctional;
+  config.ep.layers = TenLayerStack();
+  config.ep.params.local_loopback = false;
+  config.ep.params.stable_interval = 1u << 30;
+  config.ep.timer_interval = 0;
+  GroupHarness g(config);
+  PacketTrace trace;
+  trace.AttachTo(&g.network());
+  g.StartAll();
+  g.CastFrom(0, "xxxx");
+  g.Run(Millis(10));
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.CountWithTag(kWireGeneric), 1u);
+  // Generic 10-layer headers dwarf the compressed 14-byte form.
+  EXPECT_GT(trace.records()[0].bytes, 50u);
+}
+
+TEST(LeaveTest, LeaverGoesSilentAndIsVotedOut) {
+  HarnessConfig config;
+  config.n = 3;
+  config.ep.layers = {LayerId::kPartialAppl, LayerId::kIntra, LayerId::kElect,
+                      LayerId::kSync,        LayerId::kSuspect, LayerId::kPt2pt,
+                      LayerId::kMnak,        LayerId::kBottom};
+  config.ep.params.suspect_max_idle = 4;
+  config.ep.timer_interval = Millis(2);
+  GroupHarness g(config);
+  g.StartAll();
+  g.Run(Millis(10));
+
+  g.member(2).Leave();
+  g.Run(Millis(300));
+
+  for (int m = 0; m < 2; m++) {
+    ASSERT_FALSE(g.views(m).empty()) << "member " << m;
+    EXPECT_EQ(g.views(m).back()->nmembers(), 2);
+  }
+  // The leaver sends nothing after leaving.
+  g.CastFrom(0, "post-leave");
+  g.Run(Millis(50));
+  EXPECT_TRUE(g.CastPayloadsFrom(2, 0).empty() ||
+              g.CastPayloadsFrom(2, 0).back() != "post-leave");
+}
+
+}  // namespace
+}  // namespace ensemble

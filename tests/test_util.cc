@@ -1,0 +1,167 @@
+// Unit tests: RNG determinism, sequence windows, hashing, virtual time.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+#include "src/util/seqwin.h"
+#include "src/util/vtime.h"
+
+namespace ensemble {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; i++) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+  EXPECT_EQ(rng.Below(0), 0u);
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; i++) {
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All values hit.
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; i++) {
+    double d = rng.Double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(SeqWindowTest, StartsAtConfiguredLow) {
+  SeqWindow w(5);
+  EXPECT_EQ(w.low(), 5u);
+  EXPECT_EQ(w.high(), 5u);
+  EXPECT_TRUE(w.Seen(4));   // Below the window counts as seen (delivered).
+  EXPECT_FALSE(w.Seen(5));
+}
+
+TEST(SeqWindowTest, MarkAndSlideInOrder) {
+  SeqWindow w;
+  EXPECT_TRUE(w.Mark(0));
+  EXPECT_TRUE(w.SlideOne());
+  EXPECT_EQ(w.low(), 1u);
+  EXPECT_TRUE(w.Mark(1));
+  EXPECT_TRUE(w.Mark(2));
+  EXPECT_EQ(w.Slide(), 2u);
+  EXPECT_EQ(w.low(), 3u);
+}
+
+TEST(SeqWindowTest, DuplicateMarkRejected) {
+  SeqWindow w;
+  EXPECT_TRUE(w.Mark(3));
+  EXPECT_FALSE(w.Mark(3));
+  EXPECT_FALSE(w.Mark(0) && w.Mark(0));
+  w.Mark(0);
+  w.SlideOne();
+  EXPECT_FALSE(w.Mark(0));  // Below low.
+}
+
+TEST(SeqWindowTest, HolesReportsGaps) {
+  SeqWindow w;
+  w.Mark(1);
+  w.Mark(4);
+  EXPECT_EQ(w.Holes(), (std::vector<Seqno>{0, 2, 3}));
+  EXPECT_TRUE(w.HasHoles());
+  w.Mark(0);
+  w.Mark(2);
+  w.Mark(3);
+  EXPECT_FALSE(w.HasHoles());
+}
+
+TEST(SeqWindowTest, SlideOneRefusesUnseenHead) {
+  SeqWindow w;
+  w.Mark(1);
+  EXPECT_FALSE(w.SlideOne());
+  EXPECT_EQ(w.low(), 0u);
+}
+
+TEST(SeqWindowTest, ExtendToCreatesNakableHoles) {
+  SeqWindow w;
+  w.ExtendTo(4);
+  EXPECT_EQ(w.high(), 4u);
+  EXPECT_EQ(w.Holes().size(), 4u);
+  // Extending below the current high is a no-op.
+  w.ExtendTo(2);
+  EXPECT_EQ(w.high(), 4u);
+}
+
+TEST(SeqWindowTest, InterleavedMarkSlideStress) {
+  SeqWindow w;
+  // Mark evens then odds; window must deliver all 100 in order.
+  for (Seqno s = 0; s < 100; s += 2) {
+    w.Mark(s);
+  }
+  for (Seqno s = 1; s < 100; s += 2) {
+    w.Mark(s);
+  }
+  EXPECT_EQ(w.Slide(), 100u);
+  EXPECT_EQ(w.low(), 100u);
+  EXPECT_FALSE(w.HasHoles());
+}
+
+TEST(HashTest, FnvMatchesKnownVector) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(FnvHash(nullptr, 0), kFnvOffset);
+  // Stability check (self-consistent regression value).
+  EXPECT_EQ(FnvHash("a"), FnvMix(kFnvOffset, "a", 1));
+  EXPECT_NE(FnvHash("ab"), FnvHash("ba"));
+}
+
+TEST(HashTest, MixU64OrderSensitive) {
+  uint64_t a = FnvMixU64(FnvMixU64(kFnvOffset, 1), 2);
+  uint64_t b = FnvMixU64(FnvMixU64(kFnvOffset, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(VTimeTest, UnitConversions) {
+  EXPECT_EQ(Micros(1), 1000u);
+  EXPECT_EQ(Millis(1), 1000u * 1000u);
+  EXPECT_EQ(Seconds(1), 1000u * 1000u * 1000u);
+  EXPECT_EQ(Millis(3) + Micros(500), 3500000u);
+}
+
+}  // namespace
+}  // namespace ensemble
