@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ccp.dir/bench_ccp.cc.o"
+  "CMakeFiles/bench_ccp.dir/bench_ccp.cc.o.d"
+  "bench_ccp"
+  "bench_ccp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ccp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

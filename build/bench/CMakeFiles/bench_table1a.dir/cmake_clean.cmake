@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1a.dir/bench_table1a.cc.o"
+  "CMakeFiles/bench_table1a.dir/bench_table1a.cc.o.d"
+  "bench_table1a"
+  "bench_table1a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

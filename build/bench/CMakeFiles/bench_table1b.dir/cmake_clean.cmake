@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1b.dir/bench_table1b.cc.o"
+  "CMakeFiles/bench_table1b.dir/bench_table1b.cc.o.d"
+  "bench_table1b"
+  "bench_table1b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_udp_endtoend.dir/bench_udp_endtoend.cc.o"
+  "CMakeFiles/bench_udp_endtoend.dir/bench_udp_endtoend.cc.o.d"
+  "bench_udp_endtoend"
+  "bench_udp_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_udp_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

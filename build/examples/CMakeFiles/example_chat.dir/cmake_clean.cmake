@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_chat.dir/chat.cpp.o"
+  "CMakeFiles/example_chat.dir/chat.cpp.o.d"
+  "example_chat"
+  "example_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_filetransfer.dir/filetransfer.cpp.o"
+  "CMakeFiles/example_filetransfer.dir/filetransfer.cpp.o.d"
+  "example_filetransfer"
+  "example_filetransfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_filetransfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

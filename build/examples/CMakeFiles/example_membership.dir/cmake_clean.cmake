@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_membership.dir/membership.cpp.o"
+  "CMakeFiles/example_membership.dir/membership.cpp.o.d"
+  "example_membership"
+  "example_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/endpoint.cc" "src/CMakeFiles/ensemble.dir/app/endpoint.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/app/endpoint.cc.o.d"
+  "/root/repo/src/app/harness.cc" "src/CMakeFiles/ensemble.dir/app/harness.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/app/harness.cc.o.d"
+  "/root/repo/src/bypass/compiler.cc" "src/CMakeFiles/ensemble.dir/bypass/compiler.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/bypass/compiler.cc.o.d"
+  "/root/repo/src/bypass/equivalence.cc" "src/CMakeFiles/ensemble.dir/bypass/equivalence.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/bypass/equivalence.cc.o.d"
+  "/root/repo/src/bypass/hand.cc" "src/CMakeFiles/ensemble.dir/bypass/hand.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/bypass/hand.cc.o.d"
+  "/root/repo/src/bypass/rule.cc" "src/CMakeFiles/ensemble.dir/bypass/rule.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/bypass/rule.cc.o.d"
+  "/root/repo/src/bypass/rules.cc" "src/CMakeFiles/ensemble.dir/bypass/rules.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/bypass/rules.cc.o.d"
+  "/root/repo/src/event/event.cc" "src/CMakeFiles/ensemble.dir/event/event.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/event/event.cc.o.d"
+  "/root/repo/src/event/types.cc" "src/CMakeFiles/ensemble.dir/event/types.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/event/types.cc.o.d"
+  "/root/repo/src/layers/bottom.cc" "src/CMakeFiles/ensemble.dir/layers/bottom.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/bottom.cc.o.d"
+  "/root/repo/src/layers/collect.cc" "src/CMakeFiles/ensemble.dir/layers/collect.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/collect.cc.o.d"
+  "/root/repo/src/layers/elect.cc" "src/CMakeFiles/ensemble.dir/layers/elect.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/elect.cc.o.d"
+  "/root/repo/src/layers/encrypt.cc" "src/CMakeFiles/ensemble.dir/layers/encrypt.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/encrypt.cc.o.d"
+  "/root/repo/src/layers/fifo_check.cc" "src/CMakeFiles/ensemble.dir/layers/fifo_check.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/fifo_check.cc.o.d"
+  "/root/repo/src/layers/frag.cc" "src/CMakeFiles/ensemble.dir/layers/frag.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/frag.cc.o.d"
+  "/root/repo/src/layers/intra.cc" "src/CMakeFiles/ensemble.dir/layers/intra.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/intra.cc.o.d"
+  "/root/repo/src/layers/local.cc" "src/CMakeFiles/ensemble.dir/layers/local.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/local.cc.o.d"
+  "/root/repo/src/layers/mflow.cc" "src/CMakeFiles/ensemble.dir/layers/mflow.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/mflow.cc.o.d"
+  "/root/repo/src/layers/mnak.cc" "src/CMakeFiles/ensemble.dir/layers/mnak.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/mnak.cc.o.d"
+  "/root/repo/src/layers/partial_appl.cc" "src/CMakeFiles/ensemble.dir/layers/partial_appl.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/partial_appl.cc.o.d"
+  "/root/repo/src/layers/pt2pt.cc" "src/CMakeFiles/ensemble.dir/layers/pt2pt.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/pt2pt.cc.o.d"
+  "/root/repo/src/layers/pt2ptw.cc" "src/CMakeFiles/ensemble.dir/layers/pt2ptw.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/pt2ptw.cc.o.d"
+  "/root/repo/src/layers/sign.cc" "src/CMakeFiles/ensemble.dir/layers/sign.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/sign.cc.o.d"
+  "/root/repo/src/layers/stable.cc" "src/CMakeFiles/ensemble.dir/layers/stable.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/stable.cc.o.d"
+  "/root/repo/src/layers/suspect.cc" "src/CMakeFiles/ensemble.dir/layers/suspect.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/suspect.cc.o.d"
+  "/root/repo/src/layers/sync.cc" "src/CMakeFiles/ensemble.dir/layers/sync.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/sync.cc.o.d"
+  "/root/repo/src/layers/top.cc" "src/CMakeFiles/ensemble.dir/layers/top.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/top.cc.o.d"
+  "/root/repo/src/layers/total.cc" "src/CMakeFiles/ensemble.dir/layers/total.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/total.cc.o.d"
+  "/root/repo/src/layers/total_buggy.cc" "src/CMakeFiles/ensemble.dir/layers/total_buggy.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/total_buggy.cc.o.d"
+  "/root/repo/src/layers/total_check.cc" "src/CMakeFiles/ensemble.dir/layers/total_check.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/layers/total_check.cc.o.d"
+  "/root/repo/src/marshal/generic_codec.cc" "src/CMakeFiles/ensemble.dir/marshal/generic_codec.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/marshal/generic_codec.cc.o.d"
+  "/root/repo/src/marshal/header_desc.cc" "src/CMakeFiles/ensemble.dir/marshal/header_desc.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/marshal/header_desc.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/ensemble.dir/net/network.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/net/network.cc.o.d"
+  "/root/repo/src/net/trace.cc" "src/CMakeFiles/ensemble.dir/net/trace.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/net/trace.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/CMakeFiles/ensemble.dir/net/udp.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/net/udp.cc.o.d"
+  "/root/repo/src/perf/elf_symbols.cc" "src/CMakeFiles/ensemble.dir/perf/elf_symbols.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/perf/elf_symbols.cc.o.d"
+  "/root/repo/src/perf/latency_harness.cc" "src/CMakeFiles/ensemble.dir/perf/latency_harness.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/perf/latency_harness.cc.o.d"
+  "/root/repo/src/perf/perf_counters.cc" "src/CMakeFiles/ensemble.dir/perf/perf_counters.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/perf/perf_counters.cc.o.d"
+  "/root/repo/src/spec/ioa.cc" "src/CMakeFiles/ensemble.dir/spec/ioa.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/spec/ioa.cc.o.d"
+  "/root/repo/src/spec/monitors.cc" "src/CMakeFiles/ensemble.dir/spec/monitors.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/spec/monitors.cc.o.d"
+  "/root/repo/src/spec/netspecs.cc" "src/CMakeFiles/ensemble.dir/spec/netspecs.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/spec/netspecs.cc.o.d"
+  "/root/repo/src/spec/protospecs.cc" "src/CMakeFiles/ensemble.dir/spec/protospecs.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/spec/protospecs.cc.o.d"
+  "/root/repo/src/spec/refinement.cc" "src/CMakeFiles/ensemble.dir/spec/refinement.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/spec/refinement.cc.o.d"
+  "/root/repo/src/stack/engine.cc" "src/CMakeFiles/ensemble.dir/stack/engine.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/stack/engine.cc.o.d"
+  "/root/repo/src/stack/layer.cc" "src/CMakeFiles/ensemble.dir/stack/layer.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/stack/layer.cc.o.d"
+  "/root/repo/src/stack/properties.cc" "src/CMakeFiles/ensemble.dir/stack/properties.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/stack/properties.cc.o.d"
+  "/root/repo/src/trans/transport.cc" "src/CMakeFiles/ensemble.dir/trans/transport.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/trans/transport.cc.o.d"
+  "/root/repo/src/util/bytes.cc" "src/CMakeFiles/ensemble.dir/util/bytes.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/util/bytes.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/ensemble.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/pool.cc" "src/CMakeFiles/ensemble.dir/util/pool.cc.o" "gcc" "src/CMakeFiles/ensemble.dir/util/pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bypass.cc" "tests/CMakeFiles/ensemble_tests.dir/test_bypass.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_bypass.cc.o.d"
+  "/root/repo/tests/test_bytes.cc" "tests/CMakeFiles/ensemble_tests.dir/test_bytes.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_bytes.cc.o.d"
+  "/root/repo/tests/test_endpoint_api.cc" "tests/CMakeFiles/ensemble_tests.dir/test_endpoint_api.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_endpoint_api.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/ensemble_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_equivalence.cc" "tests/CMakeFiles/ensemble_tests.dir/test_equivalence.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_equivalence.cc.o.d"
+  "/root/repo/tests/test_event.cc" "tests/CMakeFiles/ensemble_tests.dir/test_event.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_event.cc.o.d"
+  "/root/repo/tests/test_group_smoke.cc" "tests/CMakeFiles/ensemble_tests.dir/test_group_smoke.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_group_smoke.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/ensemble_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_join_and_random_stacks.cc" "tests/CMakeFiles/ensemble_tests.dir/test_join_and_random_stacks.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_join_and_random_stacks.cc.o.d"
+  "/root/repo/tests/test_layers_boundary.cc" "tests/CMakeFiles/ensemble_tests.dir/test_layers_boundary.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_layers_boundary.cc.o.d"
+  "/root/repo/tests/test_layers_flow.cc" "tests/CMakeFiles/ensemble_tests.dir/test_layers_flow.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_layers_flow.cc.o.d"
+  "/root/repo/tests/test_layers_membership.cc" "tests/CMakeFiles/ensemble_tests.dir/test_layers_membership.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_layers_membership.cc.o.d"
+  "/root/repo/tests/test_layers_order.cc" "tests/CMakeFiles/ensemble_tests.dir/test_layers_order.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_layers_order.cc.o.d"
+  "/root/repo/tests/test_layers_reliability.cc" "tests/CMakeFiles/ensemble_tests.dir/test_layers_reliability.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_layers_reliability.cc.o.d"
+  "/root/repo/tests/test_layers_security.cc" "tests/CMakeFiles/ensemble_tests.dir/test_layers_security.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_layers_security.cc.o.d"
+  "/root/repo/tests/test_marshal.cc" "tests/CMakeFiles/ensemble_tests.dir/test_marshal.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_marshal.cc.o.d"
+  "/root/repo/tests/test_mixed_and_checks.cc" "tests/CMakeFiles/ensemble_tests.dir/test_mixed_and_checks.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_mixed_and_checks.cc.o.d"
+  "/root/repo/tests/test_monitors.cc" "tests/CMakeFiles/ensemble_tests.dir/test_monitors.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_monitors.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/ensemble_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_perf.cc" "tests/CMakeFiles/ensemble_tests.dir/test_perf.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_perf.cc.o.d"
+  "/root/repo/tests/test_pressure.cc" "tests/CMakeFiles/ensemble_tests.dir/test_pressure.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_pressure.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/ensemble_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_robustness.cc" "tests/CMakeFiles/ensemble_tests.dir/test_robustness.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_robustness.cc.o.d"
+  "/root/repo/tests/test_spec.cc" "tests/CMakeFiles/ensemble_tests.dir/test_spec.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_spec.cc.o.d"
+  "/root/repo/tests/test_switch.cc" "tests/CMakeFiles/ensemble_tests.dir/test_switch.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_switch.cc.o.d"
+  "/root/repo/tests/test_trace_and_leave.cc" "tests/CMakeFiles/ensemble_tests.dir/test_trace_and_leave.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_trace_and_leave.cc.o.d"
+  "/root/repo/tests/test_udp.cc" "tests/CMakeFiles/ensemble_tests.dir/test_udp.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_udp.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/ensemble_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/ensemble_tests.dir/test_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
