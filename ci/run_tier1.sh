@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 gate: configure, build, and run the full test suite.
+# This is the exact sequence CI runs; run it locally before pushing.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
+cd build
+ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"

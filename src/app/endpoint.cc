@@ -30,6 +30,17 @@ GroupEndpoint::GroupEndpoint(EndpointId self, Network* net, EndpointConfig confi
   if (net_ != nullptr) {
     net_->Attach(self_, [this](const Packet& p) { HandlePacket(p); });
   }
+  if (config_.pack_messages && net_ != nullptr) {
+    transport_.EnablePacking(
+        [this](const Transport::PackDest& dest, const Iovec& wire) {
+          if (dest.broadcast) {
+            net_->Broadcast(self_, wire);
+          } else {
+            net_->Send(self_, dest.dst, wire);
+          }
+        },
+        config_.pack_window, config_.pack_budget);
+  }
   alive_token_ = std::make_shared<bool>(true);
 }
 
@@ -100,8 +111,38 @@ void GroupEndpoint::ArmTimer() {
       return;
     }
     stack_->Down(Event::Timer(net_->Now()));
+    // Timer ticks double as flush boundaries: staged packs (and the
+    // network's staging rings) never outlive one timer interval.
+    Flush();
     ArmTimer();
   });
+}
+
+void GroupEndpoint::Flush() {
+  transport_.FlushPacked();
+  if (net_ != nullptr) {
+    net_->Flush();
+  }
+}
+
+void GroupEndpoint::EmitCastWire(const Iovec& wire) {
+  if (transport_.packing()) {
+    transport_.PackCast(wire);
+  } else if (net_ != nullptr) {
+    net_->Broadcast(self_, wire);
+  }
+}
+
+void GroupEndpoint::EmitSendWire(Rank dest, const Iovec& wire) {
+  if (net_ == nullptr || !view_ || dest < 0 || dest >= view_->nmembers()) {
+    return;
+  }
+  EndpointId dst = view_->members[static_cast<size_t>(dest)];
+  if (transport_.packing()) {
+    transport_.PackSend(dst, wire);
+  } else {
+    net_->Send(self_, dst, wire);
+  }
 }
 
 void GroupEndpoint::Cast(Iovec payload) {
@@ -112,9 +153,7 @@ void GroupEndpoint::Cast(Iovec payload) {
     std::vector<Event> self_deliveries;
     if (cast_route_->TryDown(ev, &wire, &self_deliveries)) {
       stats_.bypass_down++;
-      if (net_ != nullptr) {
-        net_->Broadcast(self_, wire);
-      }
+      EmitCastWire(wire);
       for (Event& self : self_deliveries) {
         HandleStackUpOut(std::move(self));
       }
@@ -125,9 +164,7 @@ void GroupEndpoint::Cast(Iovec payload) {
     Iovec wire;
     if (hand_->TryDownCast(ev, &wire)) {
       stats_.bypass_down++;
-      if (net_ != nullptr) {
-        net_->Broadcast(self_, wire);
-      }
+      EmitCastWire(wire);
       return;
     }
     stats_.bypass_down_miss++;
@@ -142,9 +179,7 @@ void GroupEndpoint::Send(Rank dest, Iovec payload) {
     Iovec wire;
     if (send_route_->TryDown(ev, &wire, nullptr)) {
       stats_.bypass_down++;
-      if (net_ != nullptr && view_ && dest >= 0 && dest < view_->nmembers()) {
-        net_->Send(self_, view_->members[static_cast<size_t>(dest)], wire);
-      }
+      EmitSendWire(dest, wire);
       return;
     }
     stats_.bypass_down_miss++;
@@ -152,9 +187,7 @@ void GroupEndpoint::Send(Rank dest, Iovec payload) {
     Iovec wire;
     if (hand_->TryDownSend(ev, &wire)) {
       stats_.bypass_down++;
-      if (net_ != nullptr && view_ && dest >= 0 && dest < view_->nmembers()) {
-        net_->Send(self_, view_->members[static_cast<size_t>(dest)], wire);
-      }
+      EmitSendWire(dest, wire);
       return;
     }
     stats_.bypass_down_miss++;
@@ -164,6 +197,7 @@ void GroupEndpoint::Send(Rank dest, Iovec payload) {
 
 void GroupEndpoint::Leave() {
   stack_->Down(Event::OfType(EventType::kLeave));
+  Flush();  // Staged goodbyes go out before we detach.
   alive_ = false;
   if (net_ != nullptr) {
     net_->Detach(self_);
@@ -178,11 +212,9 @@ void GroupEndpoint::HandleStackDnOut(Event ev) {
   Rank my_rank = view_->RankOf(self_);
   Iovec wire = transport_.MarshalDown(ev, my_rank);
   if (ev.type == EventType::kCast) {
-    net_->Broadcast(self_, wire);
+    EmitCastWire(wire);
   } else if (ev.type == EventType::kSend) {
-    if (ev.dest >= 0 && ev.dest < view_->nmembers()) {
-      net_->Send(self_, view_->members[static_cast<size_t>(ev.dest)], wire);
-    }
+    EmitSendWire(ev.dest, wire);
   }
 }
 
@@ -234,6 +266,21 @@ void GroupEndpoint::HandlePacket(const Packet& packet) {
 }
 
 void GroupEndpoint::InjectDatagram(const Bytes& datagram) {
+  // A packed datagram splits into complete sub-datagrams (zero-copy slices),
+  // each re-dispatched as if it had arrived alone — so packed compressed
+  // traffic still hits the bypass/CCP path below.  Sub-messages are never
+  // themselves packed, so this recursion is one level deep.
+  if (Transport::IsPacked(datagram)) {
+    std::vector<Bytes> subs;
+    if (transport_.Unpack(datagram, &subs)) {
+      stats_.packed_in += subs.size();
+      for (const Bytes& sub : subs) {
+        InjectDatagram(sub);
+      }
+    }
+    return;
+  }
+
   // HAND mode intercepts its own connections before the generic dispatch.
   if (config_.mode == StackMode::kHand && hand_ != nullptr && datagram.size() >= 6 &&
       datagram[0] == kWireCompressed) {

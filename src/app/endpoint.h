@@ -42,6 +42,14 @@ struct EndpointConfig {
   LayerParams params;
   // Periodic kTimer injection (retransmission, heartbeats, acks).  0 = off.
   VTime timer_interval = Millis(1);
+  // Transport-level message packing: outgoing wire datagrams for the same
+  // destination coalesce into one packed datagram, flushed when pack_window
+  // messages or pack_budget bytes are staged, on every periodic timer tick,
+  // and on explicit Flush().  Both the normal marshal path and the compiled
+  // bypass send path emit into the pack.
+  bool pack_messages = false;
+  size_t pack_window = 16;
+  size_t pack_budget = 60000;
 };
 
 class GroupEndpoint {
@@ -55,6 +63,7 @@ class GroupEndpoint {
     uint64_t bypass_up = 0;         // Fast-path deliveries.
     uint64_t bypass_up_fallback = 0;
     uint64_t packets_in = 0;
+    uint64_t packed_in = 0;  // Sub-messages split out of packed datagrams.
   };
 
   using DeliverFn = std::function<void(const Event&)>;
@@ -82,6 +91,12 @@ class GroupEndpoint {
   // Multicast to the whole group / point-to-point to a rank.
   void Cast(Iovec payload);
   void Send(Rank dest, Iovec payload);
+
+  // Batching boundary: emits every staged packed datagram and pushes the
+  // network's own staging rings to the wire.  Cheap no-op when nothing is
+  // staged; the periodic timer also flushes, so unflushed traffic is only
+  // delayed, never stuck.
+  void Flush();
 
   // Leaves the group: the endpoint goes silent and detaches from the
   // network.  Remaining members' failure detectors observe the silence and
@@ -112,6 +127,8 @@ class GroupEndpoint {
   void HandleStackDnOut(Event ev);
   void HandleStackUpOut(Event ev);
   void HandlePacket(const Packet& packet);
+  void EmitCastWire(const Iovec& wire);
+  void EmitSendWire(Rank dest, const Iovec& wire);
   void InstallView(ViewRef v);
   void CompileBypass();
   void ArmTimer();

@@ -63,6 +63,12 @@ std::vector<std::string> GroupHarness::CastPayloadsFrom(int member, Rank origin)
   return out;
 }
 
+void GroupHarness::FlushAll() {
+  for (auto& m : members_) {
+    m->Flush();
+  }
+}
+
 void GroupHarness::SwitchAll(const std::vector<LayerId>& layers) {
   uint64_t max_counter = 0;
   for (auto& m : members_) {

@@ -46,6 +46,11 @@ class GroupHarness {
   void CastFrom(int member, std::string_view payload);
   void SendFrom(int member, Rank dest, std::string_view payload);
 
+  // Batching boundary for every member: emits staged packed datagrams (see
+  // EndpointConfig::pack_messages).  Tests that burst traffic call this
+  // before Run(); otherwise the members' periodic timers flush.
+  void FlushAll();
+
   // Advances simulated time.
   void Run(VTime duration) { queue_.RunUntil(queue_.now() + duration); }
   size_t RunAll() { return queue_.RunAll(); }

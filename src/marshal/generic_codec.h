@@ -24,13 +24,10 @@
 #define ENSEMBLE_SRC_MARSHAL_GENERIC_CODEC_H_
 
 #include "src/event/event.h"
+#include "src/marshal/wire_tags.h"
 #include "src/util/bytes.h"
 
 namespace ensemble {
-
-// First byte of every datagram.
-constexpr uint8_t kWireGeneric = 0x47;     // 'G'
-constexpr uint8_t kWireCompressed = 0x43;  // 'C'
 
 // Marshals a bottom-of-stack down event (kCast / kSend) into wire form.
 // `sender_rank` is the local rank in the current view.

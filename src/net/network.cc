@@ -77,6 +77,7 @@ void SimNetwork::DeliverOne(const Packet& packet) {
 }
 
 void SimNetwork::Send(EndpointId src, EndpointId dst, const Iovec& gather) {
+  CountIfPacked(&stats_, gather);
   Packet p;
   p.src = src;
   p.dst = dst;
@@ -85,6 +86,7 @@ void SimNetwork::Send(EndpointId src, EndpointId dst, const Iovec& gather) {
 }
 
 void SimNetwork::Broadcast(EndpointId src, const Iovec& gather) {
+  CountIfPacked(&stats_, gather);
   Bytes datagram = gather.Flatten();
   for (const auto& [ep, fn] : endpoints_) {
     if (ep == src) {

@@ -16,6 +16,7 @@
 #include <set>
 
 #include "src/event/types.h"
+#include "src/marshal/wire_tags.h"
 #include "src/net/sim_queue.h"
 #include "src/util/bytes.h"
 #include "src/util/rng.h"
@@ -40,7 +41,28 @@ struct NetworkStats {
   uint64_t duplicated = 0;
   uint64_t delayed_extra = 0;  // Packets given reordering delay.
   uint64_t bytes_sent = 0;
+  // Batched-I/O observability (the throughput bench's raw material).  A
+  // backend without a real syscall boundary (the simulator) leaves the
+  // syscall counters at zero but still classifies packed datagrams.
+  uint64_t send_syscalls = 0;      // sendmsg/sendmmsg invocations.
+  uint64_t recv_syscalls = 0;      // recvfrom/recvmmsg invocations.
+  uint64_t send_batches = 0;       // Staged flushes covering >1 datagram.
+  uint64_t batched_datagrams = 0;  // Datagrams routed through a staging ring.
+  uint64_t max_send_batch = 0;     // Largest single flush (datagrams).
+  uint64_t packed_datagrams = 0;   // Datagrams carrying packed sub-messages.
+  uint64_t packed_submsgs = 0;     // Sub-messages inside those datagrams.
 };
+
+// Classifies an outgoing datagram for the packing counters.  The packed
+// header ([tag u8][count u8]) is always emitted as one leading part (or the
+// datagram is already flat), so the first two logical bytes sit in part 0.
+inline void CountIfPacked(NetworkStats* stats, const Iovec& gather) {
+  if (gather.part_count() > 0 && gather.part(0).size() >= 2 &&
+      gather.part(0)[0] == kWirePacked) {
+    stats->packed_datagrams++;
+    stats->packed_submsgs += gather.part(0)[1];
+  }
+}
 
 // Abstract datagram network + timer facility: what a protocol endpoint needs
 // from its environment.  Implemented by SimNetwork (deterministic discrete-
@@ -60,6 +82,10 @@ class Network {
   // (the sim queue / the UDP poll loop).
   virtual void ScheduleTimer(VTime delay, TimerFn fn) = 0;
   virtual VTime Now() const = 0;
+  // Batching boundary: a backend that stages outgoing datagrams (UdpNetwork's
+  // sendmmsg ring) pushes everything staged to the wire here.  Backends that
+  // transmit eagerly need no action.
+  virtual void Flush() {}
 };
 
 // Fault and latency model.  All probabilities are per delivery attempt.

@@ -22,6 +22,10 @@ class SimQueue {
   VTime now() const { return now_; }
   bool empty() const { return heap_.empty(); }
   size_t pending() const { return heap_.size(); }
+  // Due time of the earliest pending action (the heap top), or kVTimeNever
+  // when idle.  API parity with UdpNetwork's timer heap: both expose the next
+  // deadline so a poll loop can sleep exactly until something is runnable.
+  VTime next_due() const { return heap_.empty() ? kVTimeNever : heap_.top().t; }
 
   // Schedules `fn` to run at absolute virtual time `t` (clamped to now).
   void At(VTime t, Action fn) {

@@ -9,14 +9,20 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/util/logging.h"
+
+#if defined(__linux__)
+#define ENSEMBLE_HAVE_MMSG 1
+#endif
 
 namespace ensemble {
 
 namespace {
 constexpr size_t kMaxDatagram = 65536;
+constexpr int kSocketBufBytes = 1 << 22;  // Headroom for bursty batched sends.
 
 sockaddr_in LoopbackAddr(uint16_t port) {
   sockaddr_in addr;
@@ -29,6 +35,7 @@ sockaddr_in LoopbackAddr(uint16_t port) {
 }  // namespace
 
 UdpNetwork::~UdpNetwork() {
+  Flush();
   for (auto& [ep, state] : endpoints_) {
     if (state.fd >= 0) {
       close(state.fd);
@@ -45,6 +52,9 @@ void UdpNetwork::Attach(EndpointId ep, DeliverFn deliver) {
   }
   int flags = fcntl(state.fd, F_GETFL, 0);
   fcntl(state.fd, F_SETFL, flags | O_NONBLOCK);
+  int buf = kSocketBufBytes;
+  setsockopt(state.fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+  setsockopt(state.fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
 
   sockaddr_in addr = LoopbackAddr(0);
   if (bind(state.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
@@ -65,6 +75,7 @@ void UdpNetwork::Detach(EndpointId ep) {
   if (it == endpoints_.end()) {
     return;
   }
+  FlushEndpoint(it->second);  // Staged farewells (Leave) still go out.
   by_port_.erase(it->second.port);
   if (it->second.fd >= 0) {
     close(it->second.fd);
@@ -84,7 +95,13 @@ void UdpNetwork::Send(EndpointId src, EndpointId dst, const Iovec& gather) {
     stats_.dropped++;
     return;
   }
-  // The real scatter-gather send: one iovec entry per part, no flatten.
+  CountIfPacked(&stats_, gather);
+  if (batch_.batch_sends) {
+    Enqueue(from->second, to->second.port, gather);
+    return;
+  }
+  // Eager path: the real scatter-gather send — one iovec entry per part, no
+  // flatten, one syscall per datagram.
   std::vector<iovec> iov(gather.part_count());
   for (size_t i = 0; i < gather.part_count(); i++) {
     iov[i].iov_base = const_cast<uint8_t*>(gather.part(i).data());
@@ -97,6 +114,7 @@ void UdpNetwork::Send(EndpointId src, EndpointId dst, const Iovec& gather) {
   msg.msg_namelen = sizeof(addr);
   msg.msg_iov = iov.data();
   msg.msg_iovlen = iov.size();
+  stats_.send_syscalls++;
   if (sendmsg(from->second.fd, &msg, 0) >= 0) {
     stats_.sent++;
     stats_.bytes_sent += gather.size();
@@ -106,6 +124,22 @@ void UdpNetwork::Send(EndpointId src, EndpointId dst, const Iovec& gather) {
 }
 
 void UdpNetwork::Broadcast(EndpointId src, const Iovec& gather) {
+  if (batch_.batch_sends) {
+    auto from = endpoints_.find(src);
+    if (from == endpoints_.end()) {
+      stats_.dropped++;
+      return;
+    }
+    CountIfPacked(&stats_, gather);
+    // One staged entry per destination; the Iovec parts are refcounted, so
+    // fan-out shares the payload bytes.
+    for (const auto& [ep, state] : endpoints_) {
+      if (ep != src) {
+        Enqueue(from->second, state.port, gather);
+      }
+    }
+    return;
+  }
   for (const auto& [ep, state] : endpoints_) {
     if (ep == src) {
       continue;
@@ -114,22 +148,100 @@ void UdpNetwork::Broadcast(EndpointId src, const Iovec& gather) {
   }
 }
 
+void UdpNetwork::Enqueue(Endpoint& from, uint16_t port, const Iovec& gather) {
+  from.ring.push_back(Staged{port, gather});
+  stats_.batched_datagrams++;
+  if (from.ring.size() >= batch_.send_batch) {
+    FlushEndpoint(from);
+  }
+}
+
+void UdpNetwork::FlushEndpoint(Endpoint& ep) {
+  if (ep.ring.empty()) {
+    return;
+  }
+  size_t n = ep.ring.size();
+  stats_.max_send_batch = std::max<uint64_t>(stats_.max_send_batch, n);
+  if (n > 1) {
+    stats_.send_batches++;
+  }
+  // Per-message iovec arrays live in one flat vector; `starts` indexes it.
+  std::vector<iovec> iov;
+  std::vector<size_t> starts(n);
+  std::vector<sockaddr_in> addrs(n);
+  for (size_t i = 0; i < n; i++) {
+    starts[i] = iov.size();
+    const Iovec& gather = ep.ring[i].gather;
+    for (size_t p = 0; p < gather.part_count(); p++) {
+      iov.push_back(iovec{const_cast<uint8_t*>(gather.part(p).data()),
+                          gather.part(p).size()});
+    }
+    addrs[i] = LoopbackAddr(ep.ring[i].port);
+  }
+#if defined(ENSEMBLE_HAVE_MMSG)
+  std::vector<mmsghdr> msgs(n);
+  for (size_t i = 0; i < n; i++) {
+    std::memset(&msgs[i], 0, sizeof(msgs[i]));
+    msgs[i].msg_hdr.msg_name = &addrs[i];
+    msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+    msgs[i].msg_hdr.msg_iov = iov.data() + starts[i];
+    msgs[i].msg_hdr.msg_iovlen =
+        (i + 1 < n ? starts[i + 1] : iov.size()) - starts[i];
+  }
+  // sendmmsg may transmit a prefix; keep going until everything was handed to
+  // the kernel or a real error stops us.
+  size_t done = 0;
+  while (done < n) {
+    stats_.send_syscalls++;
+    int sent = sendmmsg(ep.fd, msgs.data() + done,
+                        static_cast<unsigned>(n - done), 0);
+    if (sent <= 0) {
+      stats_.dropped += n - done;
+      break;
+    }
+    for (size_t i = done; i < done + static_cast<size_t>(sent); i++) {
+      stats_.sent++;
+      stats_.bytes_sent += ep.ring[i].gather.size();
+    }
+    done += static_cast<size_t>(sent);
+  }
+#else
+  for (size_t i = 0; i < n; i++) {
+    msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_name = &addrs[i];
+    msg.msg_namelen = sizeof(addrs[i]);
+    msg.msg_iov = iov.data() + starts[i];
+    msg.msg_iovlen = (i + 1 < n ? starts[i + 1] : iov.size()) - starts[i];
+    stats_.send_syscalls++;
+    if (sendmsg(ep.fd, &msg, 0) >= 0) {
+      stats_.sent++;
+      stats_.bytes_sent += ep.ring[i].gather.size();
+    } else {
+      stats_.dropped++;
+    }
+  }
+#endif
+  ep.ring.clear();
+}
+
+void UdpNetwork::Flush() {
+  for (auto& [ep, state] : endpoints_) {
+    FlushEndpoint(state);
+  }
+}
+
 void UdpNetwork::ScheduleTimer(VTime delay, TimerFn fn) {
-  timers_.push_back({NowNanos() + delay, std::move(fn)});
+  timers_.push(Timer{NowNanos() + delay, timer_seq_++, std::move(fn)});
 }
 
 size_t UdpNetwork::RunDueTimers() {
   // Due timers are collected first: firing may schedule new ones.
   VTime now = NowNanos();
   std::vector<TimerFn> due;
-  for (size_t i = 0; i < timers_.size();) {
-    if (timers_[i].due <= now) {
-      due.push_back(std::move(timers_[i].fn));
-      timers_[i] = std::move(timers_.back());
-      timers_.pop_back();
-    } else {
-      i++;
-    }
+  while (!timers_.empty() && timers_.top().due <= now) {
+    due.push_back(std::move(const_cast<Timer&>(timers_.top()).fn));
+    timers_.pop();
   }
   for (TimerFn& fn : due) {
     fn();
@@ -137,29 +249,121 @@ size_t UdpNetwork::RunDueTimers() {
   return due.size();
 }
 
-size_t UdpNetwork::DrainSockets() {
+size_t UdpNetwork::DrainOneEager(Endpoint& state, EndpointId ep) {
   size_t events = 0;
   uint8_t buf[kMaxDatagram];
-  for (auto& [ep, state] : endpoints_) {
-    while (true) {
-      sockaddr_in from;
-      socklen_t from_len = sizeof(from);
-      ssize_t n = recvfrom(state.fd, buf, sizeof(buf), 0,
-                           reinterpret_cast<sockaddr*>(&from), &from_len);
-      if (n < 0) {
-        break;  // EWOULDBLOCK: drained.
+  while (true) {
+    sockaddr_in from;
+    socklen_t from_len = sizeof(from);
+    stats_.recv_syscalls++;
+    ssize_t n = recvfrom(state.fd, buf, sizeof(buf), 0,
+                         reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) {
+      break;  // EWOULDBLOCK: drained.
+    }
+    Packet packet;
+    auto src = by_port_.find(ntohs(from.sin_port));
+    packet.src = src != by_port_.end() ? src->second : EndpointId{0};
+    packet.dst = ep;
+    packet.datagram = Bytes::Copy(buf, static_cast<size_t>(n));
+    stats_.delivered++;
+    if (state.deliver) {
+      state.deliver(packet);
+    }
+    events++;
+  }
+  return events;
+}
+
+size_t UdpNetwork::DrainOneBatched(Endpoint& state, EndpointId ep) {
+  // Pooled zero-copy receive: the kernel writes each datagram into a pool
+  // chunk and the delivered Bytes slice aliases it — no post-recv copy.  A
+  // chunk whose slice was handed out is replaced (the consumer's last ref
+  // recycles it); untouched chunks are reused for the next syscall.
+  size_t events = 0;
+  size_t vlen = std::max<size_t>(1, batch_.recv_batch);
+  if (recv_bufs_.size() < vlen) {
+    recv_bufs_.resize(vlen);
+  }
+  while (true) {
+    for (size_t i = 0; i < vlen; i++) {
+      if (recv_bufs_[i].empty()) {
+        recv_bufs_[i] = recv_pool_.Allocate(kMaxDatagram);
       }
+    }
+    std::vector<sockaddr_in> addrs(vlen);
+    std::vector<iovec> iov(vlen);
+    for (size_t i = 0; i < vlen; i++) {
+      iov[i] = iovec{recv_bufs_[i].MutableData(), kMaxDatagram};
+    }
+    size_t got = 0;
+#if defined(ENSEMBLE_HAVE_MMSG)
+    std::vector<mmsghdr> msgs(vlen);
+    for (size_t i = 0; i < vlen; i++) {
+      std::memset(&msgs[i], 0, sizeof(msgs[i]));
+      msgs[i].msg_hdr.msg_name = &addrs[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+      msgs[i].msg_hdr.msg_iov = &iov[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    stats_.recv_syscalls++;
+    int n = recvmmsg(state.fd, msgs.data(), static_cast<unsigned>(vlen), 0,
+                     nullptr);
+    if (n <= 0) {
+      break;
+    }
+    got = static_cast<size_t>(n);
+    for (size_t i = 0; i < got; i++) {
       Packet packet;
-      auto src = by_port_.find(ntohs(from.sin_port));
+      auto src = by_port_.find(ntohs(addrs[i].sin_port));
       packet.src = src != by_port_.end() ? src->second : EndpointId{0};
       packet.dst = ep;
-      packet.datagram = Bytes::Copy(buf, static_cast<size_t>(n));
+      packet.datagram = recv_bufs_[i].Slice(0, msgs[i].msg_len);
+      recv_bufs_[i] = Bytes();  // Chunk now owned by the delivered slice.
       stats_.delivered++;
       if (state.deliver) {
         state.deliver(packet);
       }
       events++;
     }
+#else
+    // No recvmmsg on this platform: recvmsg per datagram, still pooled.
+    msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_name = &addrs[0];
+    msg.msg_namelen = sizeof(addrs[0]);
+    msg.msg_iov = &iov[0];
+    msg.msg_iovlen = 1;
+    stats_.recv_syscalls++;
+    ssize_t n = recvmsg(state.fd, &msg, 0);
+    if (n < 0) {
+      break;
+    }
+    got = 1;
+    Packet packet;
+    auto src = by_port_.find(ntohs(addrs[0].sin_port));
+    packet.src = src != by_port_.end() ? src->second : EndpointId{0};
+    packet.dst = ep;
+    packet.datagram = recv_bufs_[0].Slice(0, static_cast<size_t>(n));
+    recv_bufs_[0] = Bytes();
+    stats_.delivered++;
+    if (state.deliver) {
+      state.deliver(packet);
+    }
+    events++;
+#endif
+    if (got < vlen) {
+      break;  // Socket drained.
+    }
+  }
+  return events;
+}
+
+size_t UdpNetwork::DrainSockets() {
+  size_t events = 0;
+  for (auto& [ep, state] : endpoints_) {
+    events += batch_.batch_recvs ? DrainOneBatched(state, ep)
+                                 : DrainOneEager(state, ep);
   }
   return events;
 }
@@ -188,18 +392,38 @@ size_t UdpNetwork::PollFor(VTime duration) {
 
 }  // namespace ensemble
 
-#else  // Unsupported platform: stub that reports !ok().
+#else  // Unsupported platform: every operation reports failure loudly.
+
+#include "src/util/logging.h"
 
 namespace ensemble {
 UdpNetwork::~UdpNetwork() = default;
 void UdpNetwork::Attach(EndpointId, DeliverFn) { ok_ = false; }
 void UdpNetwork::Detach(EndpointId) {}
-void UdpNetwork::Send(EndpointId, EndpointId, const Iovec&) {}
-void UdpNetwork::Broadcast(EndpointId, const Iovec&) {}
-void UdpNetwork::ScheduleTimer(VTime, TimerFn) {}
+void UdpNetwork::Send(EndpointId, EndpointId, const Iovec&) {
+  ok_ = false;
+  stats_.dropped++;
+  ENS_LOG(kError) << "UdpNetwork::Send unsupported on this platform; datagram dropped";
+}
+void UdpNetwork::Broadcast(EndpointId, const Iovec&) {
+  ok_ = false;
+  stats_.dropped++;
+  ENS_LOG(kError) << "UdpNetwork::Broadcast unsupported on this platform; datagram dropped";
+}
+void UdpNetwork::Flush() {}
+void UdpNetwork::ScheduleTimer(VTime, TimerFn) {
+  ok_ = false;
+  ENS_LOG(kError) << "UdpNetwork::ScheduleTimer unsupported on this platform; timer lost";
+}
 size_t UdpNetwork::Poll() { return 0; }
 size_t UdpNetwork::PollFor(VTime) { return 0; }
 uint16_t UdpNetwork::PortOf(EndpointId) const { return 0; }
+size_t UdpNetwork::RunDueTimers() { return 0; }
+size_t UdpNetwork::DrainSockets() { return 0; }
+size_t UdpNetwork::DrainOneEager(Endpoint&, EndpointId) { return 0; }
+size_t UdpNetwork::DrainOneBatched(Endpoint&, EndpointId) { return 0; }
+void UdpNetwork::Enqueue(Endpoint&, uint16_t, const Iovec&) {}
+void UdpNetwork::FlushEndpoint(Endpoint&) {}
 }  // namespace ensemble
 
 #endif

@@ -7,6 +7,16 @@
 // credits for its size-independent latencies — and receives are non-blocking
 // and pumped by Poll().
 //
+// Batched hot path (off by default; the latency benches measure the eager
+// path): with `batch_sends` every outgoing datagram is staged in a per-socket
+// ring and flushed with one sendmmsg(2) when the ring fills or Flush() is
+// called; with `batch_recvs` sockets are drained with recvmmsg(2) straight
+// into refcounted pool-backed buffers, so a received payload is never copied
+// after the kernel wrote it (the slices handed to DeliverFn alias the pool
+// chunk).  Platforms without the mmsg syscalls fall back to a sendmsg/recvmsg
+// loop behind the same interface and the same staging semantics; only the
+// syscall counters differ.
+//
 // Endpoint identity ↔ address: every attached endpoint gets its own UDP
 // socket bound to 127.0.0.1 with an ephemeral port; the registry maps ports
 // back to endpoint ids for packet source attribution.  All endpoints of a
@@ -18,12 +28,30 @@
 
 #include <cstdint>
 #include <map>
+#include <queue>
 #include <vector>
 
 #include "src/net/network.h"
 #include "src/perf/timer.h"
+#include "src/util/pool.h"
 
 namespace ensemble {
+
+// Knobs for the batched fast path.  Defaults reproduce the eager seed
+// behaviour exactly (one syscall per datagram, heap-copied receives).
+struct UdpBatchConfig {
+  bool batch_sends = false;  // Stage sends; flush via sendmmsg.
+  size_t send_batch = 16;    // Auto-flush threshold per source socket.
+  bool batch_recvs = false;  // Drain with recvmmsg into pooled buffers.
+  size_t recv_batch = 16;    // Messages per recvmmsg call.
+
+  static UdpBatchConfig Batched(size_t batch = 16) {
+    UdpBatchConfig c;
+    c.batch_sends = c.batch_recvs = true;
+    c.send_batch = c.recv_batch = batch;
+    return c;
+  }
+};
 
 class UdpNetwork : public Network {
  public:
@@ -38,6 +66,9 @@ class UdpNetwork : public Network {
   void Send(EndpointId src, EndpointId dst, const Iovec& gather) override;
   void Broadcast(EndpointId src, const Iovec& gather) override;
 
+  // Pushes every staged datagram to the wire (no-op when nothing is staged).
+  void Flush() override;
+
   // Timers fire from inside Poll()/PollFor().
   void ScheduleTimer(VTime delay, TimerFn fn) override;
   VTime Now() const override { return NowNanos(); }
@@ -48,28 +79,56 @@ class UdpNetwork : public Network {
   // poll(2) between batches.  Returns events processed.
   size_t PollFor(VTime duration);
 
+  // Safe to change at any time; staged sends are flushed first.
+  void set_batch_config(UdpBatchConfig config) {
+    Flush();
+    batch_ = config;
+  }
+  const UdpBatchConfig& batch_config() const { return batch_; }
+
   bool ok() const { return ok_; }
   uint16_t PortOf(EndpointId ep) const;
   const NetworkStats& stats() const { return stats_; }
+  const PoolStats& recv_pool_stats() const { return recv_pool_.stats(); }
 
  private:
+  // One staged outgoing datagram: destination port plus the scatter-gather
+  // parts (refcounted Bytes — staging copies no payload bytes).
+  struct Staged {
+    uint16_t port;
+    Iovec gather;
+  };
   struct Endpoint {
     int fd = -1;
     uint16_t port = 0;
     DeliverFn deliver;
+    std::vector<Staged> ring;  // Outgoing staging ring (batch_sends).
   };
   struct Timer {
     VTime due;
+    uint64_t seq;  // FIFO tiebreak for equal due times.
     TimerFn fn;
+    bool operator>(const Timer& o) const {
+      return due != o.due ? due > o.due : seq > o.seq;
+    }
   };
 
+  void Enqueue(Endpoint& from, uint16_t port, const Iovec& gather);
+  void FlushEndpoint(Endpoint& ep);
   size_t DrainSockets();
+  size_t DrainOneEager(Endpoint& state, EndpointId ep);
+  size_t DrainOneBatched(Endpoint& state, EndpointId ep);
   size_t RunDueTimers();
 
   bool ok_ = true;
+  UdpBatchConfig batch_;
   std::map<EndpointId, Endpoint> endpoints_;
   std::map<uint16_t, EndpointId> by_port_;
-  std::vector<Timer> timers_;  // Unsorted; scanned in RunDueTimers.
+  // Min-heap on due time (was: unsorted vector scanned per poll).
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  uint64_t timer_seq_ = 0;
+  BufferPool recv_pool_{65536};  // One chunk holds any datagram.
+  std::vector<Bytes> recv_bufs_;  // Reusable recvmmsg targets.
   NetworkStats stats_;
 };
 

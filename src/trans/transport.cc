@@ -4,6 +4,13 @@
 
 namespace ensemble {
 
+namespace {
+// Packed framing constants: [tag u8][count u8] header, [len u32] per entry.
+constexpr size_t kPackHeader = 2;
+constexpr size_t kPackLenPrefix = 4;
+constexpr size_t kPackMaxCount = 255;  // Count is a u8.
+}  // namespace
+
 Transport::UpResult Transport::DispatchUp(const Bytes& datagram) const {
   UpResult result;
   if (datagram.empty()) {
@@ -47,6 +54,111 @@ Transport::UpResult Transport::DispatchUp(const Bytes& datagram) const {
     }
   }
   return result;
+}
+
+void Transport::EnablePacking(EmitFn emit, size_t max_msgs, size_t max_bytes) {
+  emit_ = std::move(emit);
+  max_msgs_ = std::min(std::max<size_t>(max_msgs, 1), kPackMaxCount);
+  max_bytes_ = max_bytes;
+}
+
+void Transport::PackCast(const Iovec& wire) {
+  StageOn(&cast_q_, PackDest{/*broadcast=*/true, EndpointId{}}, wire);
+}
+
+void Transport::PackSend(EndpointId dst, const Iovec& wire) {
+  StageOn(&send_q_[dst], PackDest{/*broadcast=*/false, dst}, wire);
+}
+
+void Transport::StageOn(Staging* q, const PackDest& dest, const Iovec& wire) {
+  if (!emit_) {
+    return;  // Packing off: nothing sane to do (callers check packing()).
+  }
+  // Would this message blow the byte budget?  Close out the current pack
+  // first so a packed datagram never exceeds max_bytes_ (lone oversized
+  // messages still go out, unwrapped, as one datagram).
+  if (!q->wires.empty() && q->bytes + wire.size() + kPackLenPrefix > max_bytes_) {
+    FlushQueue(q, dest);
+  }
+  pack_stats_.staged++;
+  q->bytes += wire.size() + kPackLenPrefix;
+  q->wires.push_back(wire);
+  if (q->wires.size() >= max_msgs_ || q->bytes >= max_bytes_) {
+    FlushQueue(q, dest);
+  }
+}
+
+void Transport::FlushQueue(Staging* q, const PackDest& dest) {
+  if (q->wires.empty()) {
+    return;
+  }
+  pack_stats_.flushes++;
+  if (q->wires.size() == 1) {
+    // A lone message needs no pack framing: emit the original datagram so the
+    // receive path (and CCP dispatch) sees exactly what an unpacked sender
+    // produces.
+    pack_stats_.single_flushes++;
+    emit_(dest, q->wires[0]);
+  } else {
+    Iovec packed;
+    Bytes header = Bytes::Allocate(kPackHeader);
+    header.MutableData()[0] = kWirePacked;
+    header.MutableData()[1] = static_cast<uint8_t>(q->wires.size());
+    packed.Append(std::move(header));
+    for (const Iovec& wire : q->wires) {
+      Bytes len = Bytes::Allocate(kPackLenPrefix);
+      uint32_t n = static_cast<uint32_t>(wire.size());
+      std::memcpy(len.MutableData(), &n, kPackLenPrefix);
+      packed.Append(std::move(len));
+      packed.Append(wire);  // Refcounted aliases: no payload copy.
+    }
+    pack_stats_.packed_datagrams++;
+    emit_(dest, packed);
+  }
+  q->wires.clear();
+  q->bytes = 0;
+}
+
+void Transport::FlushPacked() {
+  FlushQueue(&cast_q_, PackDest{/*broadcast=*/true, EndpointId{}});
+  for (auto& [dst, q] : send_q_) {
+    FlushQueue(&q, PackDest{/*broadcast=*/false, dst});
+  }
+}
+
+bool Transport::IsPacked(const Bytes& datagram) {
+  return datagram.size() >= kPackHeader && datagram[0] == kWirePacked;
+}
+
+bool Transport::Unpack(const Bytes& datagram, std::vector<Bytes>* out) {
+  if (!IsPacked(datagram)) {
+    return false;
+  }
+  size_t count = datagram[1];
+  size_t pos = kPackHeader;
+  std::vector<Bytes> subs;
+  subs.reserve(count);
+  for (size_t i = 0; i < count; i++) {
+    if (pos + kPackLenPrefix > datagram.size()) {
+      return false;
+    }
+    uint32_t len;
+    std::memcpy(&len, datagram.data() + pos, kPackLenPrefix);
+    pos += kPackLenPrefix;
+    if (pos + len > datagram.size()) {
+      return false;
+    }
+    subs.push_back(datagram.Slice(pos, len));  // Zero-copy view.
+    pos += len;
+  }
+  if (pos != datagram.size()) {
+    return false;  // Trailing garbage: treat the whole datagram as malformed.
+  }
+  pack_stats_.unpacked_submsgs += subs.size();
+  for (Bytes& b : subs) {
+    out->push_back(std::move(b));
+  }
+  return true;
 }
 
 }  // namespace ensemble

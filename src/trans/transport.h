@@ -8,15 +8,38 @@
 // stack, compressed datagrams are routed through the connection table to a
 // compiled bypass (which either delivers directly or reconstructs a full
 // event when its CCP fails).
+//
+// Message packing (Ensemble's transport batching, the down-path dual of the
+// paper's copy-avoidance work): when enabled, complete wire datagrams headed
+// for the same destination are staged per destination and coalesced into one
+// packed datagram — [kWirePacked u8][count u8] then count × ([u32 len] body)
+// — built by scatter-gather (length prefixes are tiny fresh Bytes; the
+// sub-message parts are refcounted aliases, so packing copies no payload
+// bytes).  Sub-messages keep their own first-byte tag, so a packed datagram
+// may mix generic and compressed (bypass/CCP) traffic; the receive side
+// splits it with zero-copy slices and feeds each sub-message through the
+// normal first-byte dispatch.
 
 #ifndef ENSEMBLE_SRC_TRANS_TRANSPORT_H_
 #define ENSEMBLE_SRC_TRANS_TRANSPORT_H_
+
+#include <functional>
+#include <map>
+#include <vector>
 
 #include "src/bypass/conn_table.h"
 #include "src/event/event.h"
 #include "src/marshal/generic_codec.h"
 
 namespace ensemble {
+
+struct PackStats {
+  uint64_t staged = 0;            // Sub-messages accepted for packing.
+  uint64_t packed_datagrams = 0;  // Emitted datagrams carrying >1 sub-message.
+  uint64_t single_flushes = 0;    // Lone staged messages emitted unwrapped.
+  uint64_t flushes = 0;           // Flush boundaries (explicit or automatic).
+  uint64_t unpacked_submsgs = 0;  // Sub-messages split out of received packs.
+};
 
 class Transport {
  public:
@@ -42,10 +65,58 @@ class Transport {
 
   UpResult DispatchUp(const Bytes& datagram) const;
 
+  // ---- message packing -----------------------------------------------------
+
+  // Destination of a staged wire datagram.
+  struct PackDest {
+    bool broadcast = false;
+    EndpointId dst;  // Meaningful when !broadcast.
+  };
+  using EmitFn = std::function<void(const PackDest&, const Iovec& wire)>;
+
+  // Turns packing on: PackCast/PackSend stage instead of emitting, and a
+  // destination auto-flushes once it holds `max_msgs` sub-messages or
+  // `max_bytes` payload bytes.  `emit` receives every outgoing datagram
+  // (packed or lone) — typically a closure over Network::Broadcast/Send.
+  void EnablePacking(EmitFn emit, size_t max_msgs = 16, size_t max_bytes = 60000);
+  bool packing() const { return static_cast<bool>(emit_); }
+
+  // Stages a complete wire datagram (generic or compressed — not packed).
+  // With packing disabled these forward straight to nothing — callers must
+  // only use them when packing() is true.
+  void PackCast(const Iovec& wire);
+  void PackSend(EndpointId dst, const Iovec& wire);
+  // Emits everything staged (broadcast queue first, then per-peer queues).
+  void FlushPacked();
+
+  // True iff `datagram` carries the packed tag.
+  static bool IsPacked(const Bytes& datagram);
+  // Splits a packed datagram into zero-copy sub-slices, appended to `out`.
+  // Returns false (leaving `out` as-is) on malformed framing.
+  bool Unpack(const Bytes& datagram, std::vector<Bytes>* out);
+
+  const PackStats& pack_stats() const { return pack_stats_; }
+
   void set_conn_table(ConnTable* conns) { conns_ = conns; }
 
  private:
+  // One destination's staging queue: the original wire datagrams, coalesced
+  // lazily at flush time (so a lone message goes out unwrapped).
+  struct Staging {
+    std::vector<Iovec> wires;
+    size_t bytes = 0;
+  };
+
+  void StageOn(Staging* q, const PackDest& dest, const Iovec& wire);
+  void FlushQueue(Staging* q, const PackDest& dest);
+
   ConnTable* conns_;
+  EmitFn emit_;
+  size_t max_msgs_ = 16;
+  size_t max_bytes_ = 60000;
+  Staging cast_q_;
+  std::map<EndpointId, Staging> send_q_;
+  PackStats pack_stats_;
 };
 
 }  // namespace ensemble
