@@ -1,9 +1,23 @@
 #!/usr/bin/env sh
 # Tier-1 gate: configure, build, and run the full test suite.
 # This is the exact sequence CI runs; run it locally before pushing.
+#
+#   --tsan   build a separate tree with -DENSEMBLE_TSAN=ON and run the
+#            concurrency suite (MPSC ring + sharded runtime, including the
+#            multi-worker stress test) under ThreadSanitizer.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--tsan" ]; then
+  cmake -B build-tsan -S . -DENSEMBLE_TSAN=ON
+  cmake --build build-tsan -j "$(nproc 2>/dev/null || echo 4)" --target ensemble_tests
+  cd build-tsan
+  # TSAN_OPTIONS makes any reported race fail the run even if tests pass.
+  TSAN_OPTIONS="halt_on_error=0 exitcode=66" \
+    ctest --output-on-failure -R 'MpscRing|ShardRuntime|GroupHarnessSharded'
+  exit 0
+fi
 
 cmake -B build -S .
 cmake --build build -j "$(nproc 2>/dev/null || echo 4)"

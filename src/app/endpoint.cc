@@ -40,6 +40,10 @@ GroupEndpoint::GroupEndpoint(EndpointId self, Network* net, EndpointConfig confi
           }
         },
         config_.pack_window, config_.pack_budget);
+    // Packs staged by our deliver path (acks, NAK retransmissions, responses
+    // cast from callbacks) flush when the network's receive drain ends — not
+    // only on the next periodic timer, which may never come (timers off).
+    net_->SetDrainHook(self_, [this] { transport_.FlushPacked(); });
   }
   alive_token_ = std::make_shared<bool>(true);
 }

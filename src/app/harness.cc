@@ -1,6 +1,9 @@
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "src/app/harness.h"
+#include "src/runtime/runtime.h"
 
 namespace ensemble {
 
@@ -67,6 +70,10 @@ void GroupHarness::FlushAll() {
   for (auto& m : members_) {
     m->Flush();
   }
+  // The last member's FlushPacked may stage fresh datagrams into the
+  // network's rings after every per-member net flush already ran — close the
+  // batching boundary once more so nothing staged survives FlushAll.
+  net_.Flush();
 }
 
 void GroupHarness::SwitchAll(const std::vector<LayerId>& layers) {
@@ -118,6 +125,52 @@ int GroupHarness::AddMember() {
   }
   members_.back()->Start(v);
   return index;
+}
+
+GroupHarness::ShardedRunResult GroupHarness::RunSharded(int num_workers,
+                                                        int casts_per_member,
+                                                        VTime max_wait) {
+  ShardedRunResult result;
+  ShardRuntimeConfig rt_config;
+  rt_config.backend = ShardBackend::kUdp;
+  rt_config.num_workers = num_workers;
+  rt_config.ep = config_.ep;
+  rt_config.member_modes = config_.member_modes;
+
+  ShardRuntime rt(rt_config);
+  if (!rt.Build(config_.n)) {
+    return result;  // No sockets in this environment.
+  }
+  rt.Start();
+  for (int i = 0; i < config_.n; i++) {
+    for (int c = 0; c < casts_per_member; c++) {
+      rt.PostToMember(i, [](GroupEndpoint& ep) {
+        ep.Cast(Iovec(Bytes::CopyString("sharded-round")));
+      });
+    }
+  }
+  const uint64_t want =
+      static_cast<uint64_t>(config_.n - 1) * static_cast<uint64_t>(casts_per_member);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::nanoseconds(max_wait);
+  bool done = false;
+  while (!done && std::chrono::steady_clock::now() < deadline) {
+    done = true;
+    for (int i = 0; i < config_.n; i++) {
+      if (rt.delivered(i) < want) {
+        done = false;
+        break;
+      }
+    }
+    if (!done) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  rt.Stop();
+  result.ok = done;
+  result.total_delivered = rt.total_delivered();
+  result.net = rt.AggregateNetStats();
+  result.rings = rt.AggregateRingStats();
+  return result;
 }
 
 void GroupHarness::Crash(int member) {

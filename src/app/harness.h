@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/app/endpoint.h"
+#include "src/util/mpsc_ring.h"
 
 namespace ensemble {
 
@@ -81,6 +82,25 @@ class GroupHarness {
   // simulator-side analog of an out-of-band join service).  Returns the new
   // member's index.
   int AddMember();
+
+  // Result of a RunSharded() round (see below).
+  struct ShardedRunResult {
+    bool ok = false;              // Every member delivered the full workload.
+    uint64_t total_delivered = 0; // Sum of per-member delivery counts.
+    NetworkStats net;             // Aggregated across all shards.
+    MpscRingStats rings;          // Cross-shard ring traffic.
+  };
+
+  // Sharded-runtime mode: builds a *separate* ShardRuntime (UDP backend) with
+  // the harness's n/ep/member_modes config spread over `num_workers` worker
+  // threads, runs one all-to-all round (every member casts
+  // `casts_per_member` messages), and waits until every member has delivered
+  // (n-1)*casts_per_member casts or `max_wait` elapses.  The harness's own
+  // simulated members are untouched; this is the bridge from harness-style
+  // configs to the multi-core runtime.  ok=false when sockets are unavailable
+  // or the workload did not complete in time.
+  ShardedRunResult RunSharded(int num_workers, int casts_per_member = 1,
+                              VTime max_wait = Seconds(10));
 
  private:
   HarnessConfig config_;

@@ -48,18 +48,30 @@ void RegisterHeaderDescriptor(HeaderDescriptor desc) {
 }
 
 void ZeroHeaderPadding(LayerId layer, uint8_t* data, size_t size) {
-  // Cached per-layer padding masks (true = byte belongs to a field).
-  static std::array<std::vector<bool>, kLayerIdCount> masks;
-  auto& mask = masks[static_cast<size_t>(layer)];
-  if (mask.empty()) {
-    const HeaderDescriptor& desc = HeaderDescriptorFor(layer);
-    mask.assign(desc.size, false);
-    for (const FieldSpec& f : desc.fields) {
-      for (size_t b = 0; b < FieldTypeSize(f.type); b++) {
-        mask[f.offset + b] = true;
+  // Per-layer padding masks (true = byte belongs to a field), built for every
+  // registered descriptor on first use.  All masks are built in one shot
+  // under the static-init guard: sharded workers marshal concurrently, so the
+  // cache must be read-only after construction (lazy per-layer fill raced).
+  static const std::array<std::vector<bool>, kLayerIdCount> masks = [] {
+    std::array<std::vector<bool>, kLayerIdCount> all;
+    for (size_t l = 0; l < kLayerIdCount; l++) {
+      const HeaderDescriptor* desc = TryHeaderDescriptorFor(static_cast<LayerId>(l));
+      if (desc == nullptr) {
+        continue;
+      }
+      auto& mask = all[l];
+      mask.assign(desc->size, false);
+      for (const FieldSpec& f : desc->fields) {
+        for (size_t b = 0; b < FieldTypeSize(f.type); b++) {
+          mask[f.offset + b] = true;
+        }
       }
     }
-  }
+    return all;
+  }();
+  const auto& mask = masks[static_cast<size_t>(layer)];
+  ENS_CHECK_MSG(!mask.empty(), "no header descriptor registered for "
+                                   << LayerIdName(layer));
   for (size_t i = 0; i < size && i < mask.size(); i++) {
     if (!mask[i]) {
       data[i] = 0;

@@ -19,6 +19,7 @@
 #include "src/marshal/wire_tags.h"
 #include "src/net/sim_queue.h"
 #include "src/util/bytes.h"
+#include "src/util/counters.h"
 #include "src/util/rng.h"
 #include "src/util/vtime.h"
 
@@ -34,23 +35,47 @@ struct Packet {
   Bytes datagram;
 };
 
+// Counters are relaxed atomics (RelaxedCounter): each network instance is
+// still written single-threaded (its owning shard), but the sharded runtime
+// aggregates per-shard stats from other threads, and benches snapshot them
+// while workers run.
 struct NetworkStats {
-  uint64_t sent = 0;
-  uint64_t delivered = 0;
-  uint64_t dropped = 0;
-  uint64_t duplicated = 0;
-  uint64_t delayed_extra = 0;  // Packets given reordering delay.
-  uint64_t bytes_sent = 0;
+  RelaxedCounter sent = 0;
+  RelaxedCounter delivered = 0;
+  RelaxedCounter dropped = 0;
+  RelaxedCounter duplicated = 0;
+  RelaxedCounter delayed_extra = 0;  // Packets given reordering delay.
+  RelaxedCounter bytes_sent = 0;
   // Batched-I/O observability (the throughput bench's raw material).  A
   // backend without a real syscall boundary (the simulator) leaves the
   // syscall counters at zero but still classifies packed datagrams.
-  uint64_t send_syscalls = 0;      // sendmsg/sendmmsg invocations.
-  uint64_t recv_syscalls = 0;      // recvfrom/recvmmsg invocations.
-  uint64_t send_batches = 0;       // Staged flushes covering >1 datagram.
-  uint64_t batched_datagrams = 0;  // Datagrams routed through a staging ring.
-  uint64_t max_send_batch = 0;     // Largest single flush (datagrams).
-  uint64_t packed_datagrams = 0;   // Datagrams carrying packed sub-messages.
-  uint64_t packed_submsgs = 0;     // Sub-messages inside those datagrams.
+  RelaxedCounter send_syscalls = 0;      // sendmsg/sendmmsg invocations.
+  RelaxedCounter recv_syscalls = 0;      // recvfrom/recvmmsg invocations.
+  RelaxedCounter send_batches = 0;       // Staged flushes covering >1 datagram.
+  RelaxedCounter batched_datagrams = 0;  // Datagrams routed through a staging ring.
+  RelaxedCounter max_send_batch = 0;     // Largest single flush (datagrams).
+  RelaxedCounter packed_datagrams = 0;   // Datagrams carrying packed sub-messages.
+  RelaxedCounter packed_submsgs = 0;     // Sub-messages inside those datagrams.
+
+  // Accumulates another instance's counters into this one (max for the max
+  // field).  The sharded runtime and the benches sum per-shard stats with it.
+  void Add(const NetworkStats& o) {
+    sent += o.sent;
+    delivered += o.delivered;
+    dropped += o.dropped;
+    duplicated += o.duplicated;
+    delayed_extra += o.delayed_extra;
+    bytes_sent += o.bytes_sent;
+    send_syscalls += o.send_syscalls;
+    recv_syscalls += o.recv_syscalls;
+    send_batches += o.send_batches;
+    batched_datagrams += o.batched_datagrams;
+    if (o.max_send_batch.value() > max_send_batch.value()) {
+      max_send_batch = o.max_send_batch.value();
+    }
+    packed_datagrams += o.packed_datagrams;
+    packed_submsgs += o.packed_submsgs;
+  }
 };
 
 // Classifies an outgoing datagram for the packing counters.  The packed
@@ -86,6 +111,13 @@ class Network {
   // sendmmsg ring) pushes everything staged to the wire here.  Backends that
   // transmit eagerly need no action.
   virtual void Flush() {}
+  // Registers a per-endpoint hook that a polling backend runs after the last
+  // delivery of each receive drain (and removes on Detach or an empty fn).
+  // Endpoints use it to flush response traffic staged during the drain —
+  // without it, a packed message staged by a deliver callback would sit until
+  // the next periodic timer (or forever, with timers off).  Event-scheduled
+  // backends (the simulator) have no drain boundary and may ignore it.
+  virtual void SetDrainHook(EndpointId ep, std::function<void()> hook) {}
 };
 
 // Fault and latency model.  All probabilities are per delivery attempt.

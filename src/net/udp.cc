@@ -71,6 +71,7 @@ void UdpNetwork::Attach(EndpointId ep, DeliverFn deliver) {
 }
 
 void UdpNetwork::Detach(EndpointId ep) {
+  drain_hooks_.erase(ep);
   auto it = endpoints_.find(ep);
   if (it == endpoints_.end()) {
     return;
@@ -83,6 +84,22 @@ void UdpNetwork::Detach(EndpointId ep) {
   endpoints_.erase(it);
 }
 
+void UdpNetwork::AddPeer(EndpointId ep, uint16_t port) {
+  if (port == 0 || endpoints_.count(ep) > 0) {
+    return;  // Local endpoints already resolve; port 0 means "not bound".
+  }
+  peers_[ep] = port;
+  by_port_[port] = ep;
+}
+
+void UdpNetwork::SetDrainHook(EndpointId ep, std::function<void()> hook) {
+  if (hook) {
+    drain_hooks_[ep] = std::move(hook);
+  } else {
+    drain_hooks_.erase(ep);
+  }
+}
+
 uint16_t UdpNetwork::PortOf(EndpointId ep) const {
   auto it = endpoints_.find(ep);
   return it == endpoints_.end() ? 0 : it->second.port;
@@ -90,14 +107,24 @@ uint16_t UdpNetwork::PortOf(EndpointId ep) const {
 
 void UdpNetwork::Send(EndpointId src, EndpointId dst, const Iovec& gather) {
   auto from = endpoints_.find(src);
-  auto to = endpoints_.find(dst);
-  if (from == endpoints_.end() || to == endpoints_.end()) {
+  if (from == endpoints_.end()) {
+    stats_.dropped++;
+    return;
+  }
+  // Destination resolution: a locally attached endpoint, else a published
+  // peer (an endpoint on another shard's UdpNetwork).
+  uint16_t port = 0;
+  if (auto to = endpoints_.find(dst); to != endpoints_.end()) {
+    port = to->second.port;
+  } else if (auto peer = peers_.find(dst); peer != peers_.end()) {
+    port = peer->second;
+  } else {
     stats_.dropped++;
     return;
   }
   CountIfPacked(&stats_, gather);
   if (batch_.batch_sends) {
-    Enqueue(from->second, to->second.port, gather);
+    Enqueue(from->second, port, gather);
     return;
   }
   // Eager path: the real scatter-gather send — one iovec entry per part, no
@@ -107,7 +134,7 @@ void UdpNetwork::Send(EndpointId src, EndpointId dst, const Iovec& gather) {
     iov[i].iov_base = const_cast<uint8_t*>(gather.part(i).data());
     iov[i].iov_len = gather.part(i).size();
   }
-  sockaddr_in addr = LoopbackAddr(to->second.port);
+  sockaddr_in addr = LoopbackAddr(port);
   msghdr msg;
   std::memset(&msg, 0, sizeof(msg));
   msg.msg_name = &addr;
@@ -131,12 +158,15 @@ void UdpNetwork::Broadcast(EndpointId src, const Iovec& gather) {
       return;
     }
     CountIfPacked(&stats_, gather);
-    // One staged entry per destination; the Iovec parts are refcounted, so
-    // fan-out shares the payload bytes.
+    // One staged entry per destination (local endpoints and remote peers);
+    // the Iovec parts are refcounted, so fan-out shares the payload bytes.
     for (const auto& [ep, state] : endpoints_) {
       if (ep != src) {
         Enqueue(from->second, state.port, gather);
       }
+    }
+    for (const auto& [ep, port] : peers_) {
+      Enqueue(from->second, port, gather);
     }
     return;
   }
@@ -144,6 +174,9 @@ void UdpNetwork::Broadcast(EndpointId src, const Iovec& gather) {
     if (ep == src) {
       continue;
     }
+    Send(src, ep, gather);
+  }
+  for (const auto& [ep, port] : peers_) {
     Send(src, ep, gather);
   }
 }
@@ -368,23 +401,61 @@ size_t UdpNetwork::DrainSockets() {
   return events;
 }
 
-size_t UdpNetwork::Poll() { return DrainSockets() + RunDueTimers(); }
+size_t UdpNetwork::Poll() {
+  size_t drained = DrainSockets();
+  if (drained > 0) {
+    // End-of-drain boundary: endpoints flush response traffic their deliver
+    // callbacks staged (packed messages with no later timer tick would
+    // otherwise never leave).  Hooks may stage into our send rings.
+    for (auto& [ep, hook] : drain_hooks_) {
+      hook();
+    }
+  }
+  size_t timers = RunDueTimers();
+  // The wire is caught up on Poll() exit: everything staged by deliveries,
+  // drain hooks, or timer callbacks goes out before we return.
+  Flush();
+  return drained + timers;
+}
+
+size_t UdpNetwork::PollWait(VTime max_wait) {
+  size_t events = Poll();
+  if (events > 0) {
+    return events;
+  }
+  // Idle: block in poll(2) on the sockets plus the wakeup fd, until traffic
+  // arrives, another thread calls Wakeup(), the next timer is due, or
+  // `max_wait` passes — whichever is first.
+  std::vector<pollfd> fds;
+  for (const auto& [ep, state] : endpoints_) {
+    fds.push_back(pollfd{state.fd, POLLIN, 0});
+  }
+  if (waker_.fd() >= 0) {
+    fds.push_back(pollfd{waker_.fd(), POLLIN, 0});
+  }
+  VTime wait = max_wait;
+  if (!timers_.empty()) {
+    VTime now = NowNanos();
+    VTime until_timer = timers_.top().due > now ? timers_.top().due - now : 0;
+    wait = std::min(wait, until_timer);
+  }
+  int timeout_ms = static_cast<int>((wait + 999'999) / 1'000'000);
+  if (!fds.empty()) {
+    ::poll(fds.data(), fds.size(), timeout_ms);
+  }
+  waker_.Drain();
+  return Poll();
+}
 
 size_t UdpNetwork::PollFor(VTime duration) {
   size_t events = 0;
   VTime deadline = NowNanos() + duration;
-  std::vector<pollfd> fds;
   while (NowNanos() < deadline) {
-    events += Poll();
-    // Sleep in poll(2) until traffic arrives or ~1ms passes (timer tick).
-    fds.clear();
-    for (const auto& [ep, state] : endpoints_) {
-      fds.push_back(pollfd{state.fd, POLLIN, 0});
-    }
-    if (fds.empty()) {
+    // Sleep at most ~1ms per iteration (the historical timer tick cadence).
+    events += PollWait(std::min<VTime>(Millis(1), deadline - NowNanos()));
+    if (endpoints_.empty()) {
       break;
     }
-    ::poll(fds.data(), fds.size(), 1);
   }
   events += Poll();
   return events;
@@ -411,12 +482,15 @@ void UdpNetwork::Broadcast(EndpointId, const Iovec&) {
   ENS_LOG(kError) << "UdpNetwork::Broadcast unsupported on this platform; datagram dropped";
 }
 void UdpNetwork::Flush() {}
+void UdpNetwork::AddPeer(EndpointId, uint16_t) {}
+void UdpNetwork::SetDrainHook(EndpointId, std::function<void()>) {}
 void UdpNetwork::ScheduleTimer(VTime, TimerFn) {
   ok_ = false;
   ENS_LOG(kError) << "UdpNetwork::ScheduleTimer unsupported on this platform; timer lost";
 }
 size_t UdpNetwork::Poll() { return 0; }
 size_t UdpNetwork::PollFor(VTime) { return 0; }
+size_t UdpNetwork::PollWait(VTime) { return 0; }
 uint16_t UdpNetwork::PortOf(EndpointId) const { return 0; }
 size_t UdpNetwork::RunDueTimers() { return 0; }
 size_t UdpNetwork::DrainSockets() { return 0; }

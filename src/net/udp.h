@@ -19,9 +19,17 @@
 //
 // Endpoint identity ↔ address: every attached endpoint gets its own UDP
 // socket bound to 127.0.0.1 with an ephemeral port; the registry maps ports
-// back to endpoint ids for packet source attribution.  All endpoints of a
-// group live in one process (as in the tests/examples); cross-process use
-// would only need the port map exchanged out of band.
+// back to endpoint ids for packet source attribution.  Endpoints owned by
+// *another* UdpNetwork instance (another shard's, in the sharded runtime) are
+// reachable after AddPeer() publishes their port here — the kernel is the
+// cross-shard data plane.  Cross-process use would only need the same port
+// exchange out of band.
+//
+// Threading: a UdpNetwork belongs to one thread (its shard's worker).  The
+// only cross-thread entry point is Wakeup(), which pokes an eventfd/pipe so
+// an owner blocked in PollWait()/PollFor() returns immediately — that is how
+// the sharded runtime's rings get drained promptly while idle workers sleep
+// in poll(2) instead of spinning.
 
 #ifndef ENSEMBLE_SRC_NET_UDP_H_
 #define ENSEMBLE_SRC_NET_UDP_H_
@@ -31,9 +39,12 @@
 #include <queue>
 #include <vector>
 
+#include <functional>
+
 #include "src/net/network.h"
 #include "src/perf/timer.h"
 #include "src/util/pool.h"
+#include "src/util/waker.h"
 
 namespace ensemble {
 
@@ -66,18 +77,38 @@ class UdpNetwork : public Network {
   void Send(EndpointId src, EndpointId dst, const Iovec& gather) override;
   void Broadcast(EndpointId src, const Iovec& gather) override;
 
+  // Publishes a remote endpoint (one attached to a different UdpNetwork,
+  // typically another shard's) so local endpoints can Send/Broadcast to it
+  // and received packets from its port are source-attributed.  Setup-time
+  // only: call before the owning threads start polling.
+  void AddPeer(EndpointId ep, uint16_t port);
+
   // Pushes every staged datagram to the wire (no-op when nothing is staged).
   void Flush() override;
+
+  // See Network::SetDrainHook: hooks run after the last delivery of every
+  // receive drain, before Poll() flushes the staging rings and returns.
+  void SetDrainHook(EndpointId ep, std::function<void()> hook) override;
 
   // Timers fire from inside Poll()/PollFor().
   void ScheduleTimer(VTime delay, TimerFn fn) override;
   VTime Now() const override { return NowNanos(); }
 
-  // Drains every socket once and runs due timers; returns events processed.
+  // Drains every socket once, runs drain hooks and due timers, and flushes
+  // the staging rings; returns events processed.  Nothing staged during the
+  // drain outlives the call — the wire is caught up when Poll() returns.
   size_t Poll();
   // Polls repeatedly for up to `duration` wall-clock nanoseconds, sleeping in
   // poll(2) between batches.  Returns events processed.
   size_t PollFor(VTime duration);
+  // One blocking iteration: Poll(), and if that found nothing, sleep in
+  // poll(2) — on the sockets, the wakeup fd, and the next timer deadline,
+  // capped at `max_wait` — then Poll() again.  The shard worker's loop body.
+  size_t PollWait(VTime max_wait);
+
+  // The ONLY thread-safe method: breaks the owner out of a PollWait/PollFor
+  // sleep (e.g. after pushing into the owner's cross-shard ring).
+  void Wakeup() { waker_.Notify(); }
 
   // Safe to change at any time; staged sends are flushed first.
   void set_batch_config(UdpBatchConfig config) {
@@ -123,12 +154,15 @@ class UdpNetwork : public Network {
   bool ok_ = true;
   UdpBatchConfig batch_;
   std::map<EndpointId, Endpoint> endpoints_;
+  std::map<EndpointId, uint16_t> peers_;  // Remote endpoints (other shards).
   std::map<uint16_t, EndpointId> by_port_;
+  std::map<EndpointId, std::function<void()>> drain_hooks_;
   // Min-heap on due time (was: unsorted vector scanned per poll).
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   uint64_t timer_seq_ = 0;
   BufferPool recv_pool_{65536};  // One chunk holds any datagram.
   std::vector<Bytes> recv_bufs_;  // Reusable recvmmsg targets.
+  Waker waker_;
   NetworkStats stats_;
 };
 

@@ -1,0 +1,377 @@
+#include "src/runtime/runtime.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace ensemble {
+
+// ---- ChannelNetwork --------------------------------------------------------
+
+void ChannelNetwork::Attach(EndpointId ep, DeliverFn deliver) {
+  local_[ep] = std::move(deliver);
+}
+
+void ChannelNetwork::Detach(EndpointId ep) {
+  local_.erase(ep);
+  drain_hooks_.erase(ep);
+}
+
+void ChannelNetwork::SetDrainHook(EndpointId ep, std::function<void()> hook) {
+  if (hook) {
+    drain_hooks_[ep] = std::move(hook);
+  } else {
+    drain_hooks_.erase(ep);
+  }
+}
+
+void ChannelNetwork::RouteOne(EndpointId src, EndpointId dst, const Bytes& flat) {
+  if (local_.count(dst) > 0) {
+    // Same shard: never delivered re-entrantly from inside Send — the local
+    // FIFO is drained by Poll(), mirroring the simulator's event scheduling.
+    local_q_.push_back(Packet{src, dst, false, flat});
+    return;
+  }
+  if (!rt_->RoutePacket(dst, Packet{src, dst, false, flat})) {
+    stats_.dropped++;
+  }
+}
+
+void ChannelNetwork::Send(EndpointId src, EndpointId dst, const Iovec& gather) {
+  CountIfPacked(&stats_, gather);
+  stats_.sent++;
+  stats_.bytes_sent += gather.size();
+  // Flatten models the NIC gather; a fresh heap chunk also makes the payload
+  // safe to release on the receiving shard (pool chunks are shard-local).
+  RouteOne(src, dst, gather.Flatten());
+}
+
+void ChannelNetwork::Broadcast(EndpointId src, const Iovec& gather) {
+  CountIfPacked(&stats_, gather);
+  Bytes flat = gather.Flatten();
+  for (EndpointId id : rt_->AllIds()) {
+    if (id == src) {
+      continue;
+    }
+    stats_.sent++;
+    stats_.bytes_sent += flat.size();
+    RouteOne(src, id, flat);
+  }
+}
+
+void ChannelNetwork::ScheduleTimer(VTime delay, TimerFn fn) {
+  timers_.push(Timer{NowNanos() + delay, timer_seq_++, std::move(fn)});
+}
+
+VTime ChannelNetwork::NanosUntilNextTimer() const {
+  if (timers_.empty()) {
+    return kVTimeNever;
+  }
+  VTime now = NowNanos();
+  return timers_.top().due > now ? timers_.top().due - now : 0;
+}
+
+void ChannelNetwork::DeliverLocal(const Packet& packet) {
+  auto it = local_.find(packet.dst);
+  if (it == local_.end()) {
+    stats_.dropped++;  // Left the group since the packet was routed.
+    return;
+  }
+  stats_.delivered++;
+  it->second(packet);
+}
+
+void ChannelNetwork::DeliverFromRing(const Packet& packet) { DeliverLocal(packet); }
+
+size_t ChannelNetwork::DrainQueues() {
+  // Drain only what is queued *now*: deliveries may enqueue responses, and a
+  // local ping-pong pair must not trap the worker in one Poll() forever.
+  size_t n = local_q_.size();
+  for (size_t i = 0; i < n; i++) {
+    Packet packet = std::move(local_q_.front());
+    local_q_.pop_front();
+    DeliverLocal(packet);
+  }
+  if (n > 0) {
+    for (auto& [ep, hook] : drain_hooks_) {
+      hook();
+    }
+  }
+  return n;
+}
+
+size_t ChannelNetwork::Poll() {
+  size_t n = DrainQueues();
+  // Due timers, collected first (firing may schedule new ones).
+  VTime now = NowNanos();
+  std::vector<TimerFn> due;
+  while (!timers_.empty() && timers_.top().due <= now) {
+    due.push_back(std::move(const_cast<Timer&>(timers_.top()).fn));
+    timers_.pop();
+  }
+  for (TimerFn& fn : due) {
+    fn();
+  }
+  return n + due.size();
+}
+
+// ---- ShardRuntime ----------------------------------------------------------
+
+ShardRuntime::ShardRuntime(ShardRuntimeConfig config) : config_(std::move(config)) {
+  int w = std::max(1, config_.num_workers);
+  for (int s = 0; s < w; s++) {
+    auto worker = std::make_unique<Worker>();
+    worker->inbox = std::make_unique<MpscRing<ShardMsg>>(config_.ring_capacity);
+    if (config_.backend == ShardBackend::kUdp) {
+      worker->udp = std::make_unique<UdpNetwork>();
+      worker->udp->set_batch_config(config_.batch);
+      worker->net = worker->udp.get();
+    } else {
+      worker->chan = std::make_unique<ChannelNetwork>(this, s);
+      worker->net = worker->chan.get();
+    }
+    workers_.push_back(std::move(worker));
+  }
+}
+
+ShardRuntime::~ShardRuntime() { Stop(); }
+
+bool ShardRuntime::Build(int n, int group_size) {
+  ENS_CHECK(!started_);
+  if (group_size <= 0 || group_size > n) {
+    group_size = n;
+  }
+  int w = num_workers();
+  int num_groups = (n + group_size - 1) / group_size;
+  // Groups land whole on a shard (their traffic stays shard-local) unless
+  // there are fewer groups than workers — then members spread round-robin so
+  // a single big group still exercises every core.
+  bool spread_members = num_groups < w;
+
+  for (int i = 0; i < n; i++) {
+    int group = i / group_size;
+    int shard = spread_members ? i % w : group % w;
+    EndpointConfig ep_config = config_.ep;
+    if (static_cast<size_t>(i) < config_.member_modes.size()) {
+      ep_config.mode = config_.member_modes[static_cast<size_t>(i)];
+    }
+    EndpointId id{static_cast<uint64_t>(i + 1)};
+    auto ep = std::make_unique<GroupEndpoint>(id, workers_[static_cast<size_t>(shard)]->net,
+                                              ep_config);
+    delivered_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+    std::atomic<uint64_t>* counter = delivered_.back().get();
+    int member = i;
+    ep->OnDeliver([this, counter, member](const Event& ev) {
+      counter->fetch_add(1, std::memory_order_relaxed);
+      if (config_.on_deliver) {
+        config_.on_deliver(member, ev);
+      }
+    });
+    members_.push_back(std::move(ep));
+    shard_of_.push_back(shard);
+    all_ids_.push_back(id);
+    shard_of_id_.push_back(shard);
+    if (static_cast<size_t>(group) >= groups_.size()) {
+      groups_.emplace_back();
+    }
+    groups_[static_cast<size_t>(group)].push_back(i);
+  }
+
+  if (config_.backend == ShardBackend::kUdp) {
+    for (auto& worker : workers_) {
+      if (!worker->udp->ok()) {
+        return false;
+      }
+    }
+    // Publish every endpoint's port on every *other* shard's network: the
+    // kernel becomes the cross-shard data plane.
+    for (int i = 0; i < n; i++) {
+      int home = shard_of_[static_cast<size_t>(i)];
+      uint16_t port = workers_[static_cast<size_t>(home)]->udp->PortOf(all_ids_[static_cast<size_t>(i)]);
+      for (int s = 0; s < w; s++) {
+        if (s != home) {
+          workers_[static_cast<size_t>(s)]->udp->AddPeer(all_ids_[static_cast<size_t>(i)], port);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void ShardRuntime::Start() {
+  ENS_CHECK(!started_);
+  ENS_CHECK_MSG(!members_.empty(), "Build() before Start()");
+  started_ = true;
+  // Views install (and bypass routes compile) on this thread, before any
+  // worker exists; thread creation publishes everything to the workers.
+  for (const std::vector<int>& group : groups_) {
+    auto view = std::make_shared<View>();
+    view->vid = ViewId{0, 1};
+    for (int member : group) {
+      view->members.push_back(all_ids_[static_cast<size_t>(member)]);
+    }
+    for (int member : group) {
+      members_[static_cast<size_t>(member)]->Start(view);
+    }
+  }
+  for (int s = 0; s < num_workers(); s++) {
+    workers_[static_cast<size_t>(s)]->thread = std::thread([this, s] { WorkerLoop(s); });
+  }
+}
+
+void ShardRuntime::Stop() {
+  if (!started_ || joined_) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  for (int s = 0; s < num_workers(); s++) {
+    WakeWorker(s);
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+  }
+  joined_ = true;
+  // Post-join sweep: worker A's final drain may have pushed into worker B's
+  // ring after B already exited.  Single-threaded now, so drain every shard
+  // until quiescent (bounded — deliveries can re-enqueue a few times).
+  for (int sweep = 0; sweep < 1000; sweep++) {
+    size_t activity = 0;
+    for (int s = 0; s < num_workers(); s++) {
+      Worker& w = *workers_[static_cast<size_t>(s)];
+      activity += DrainInbox(s);
+      if (w.chan != nullptr) {
+        activity += w.chan->DrainQueues();  // No timers: must converge.
+      }
+    }
+    if (activity == 0) {
+      break;
+    }
+  }
+}
+
+void ShardRuntime::WakeWorker(int shard) {
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  if (w.udp != nullptr) {
+    w.udp->Wakeup();
+  } else {
+    w.waker.Notify();
+  }
+}
+
+void ShardRuntime::PostMsg(int shard, ShardMsg msg) {
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  while (!w.inbox->TryPush(std::move(msg))) {
+    // Bounded-ring backpressure: wake the consumer and yield until it drains.
+    // (Rings are sized above any in-flight window; see ROADMAP for credit-
+    // based flow control.)  During shutdown the message is dropped — the
+    // worker may already be gone.
+    WakeWorker(shard);
+    if (stop_.load(std::memory_order_acquire)) {
+      return;
+    }
+    std::this_thread::yield();
+  }
+  WakeWorker(shard);
+}
+
+void ShardRuntime::Post(int shard, std::function<void()> task) {
+  ShardMsg msg;
+  msg.task = std::move(task);
+  PostMsg(shard, std::move(msg));
+}
+
+void ShardRuntime::PostToMember(int member, std::function<void(GroupEndpoint&)> fn) {
+  GroupEndpoint* ep = members_[static_cast<size_t>(member)].get();
+  Post(ShardOf(member), [ep, fn = std::move(fn)] { fn(*ep); });
+}
+
+int ShardRuntime::ShardOfId(EndpointId id) const {
+  size_t index = static_cast<size_t>(id.id) - 1;
+  return index < shard_of_id_.size() ? shard_of_id_[index] : -1;
+}
+
+bool ShardRuntime::RoutePacket(EndpointId dst, Packet packet) {
+  int shard = ShardOfId(dst);
+  if (shard < 0) {
+    return false;
+  }
+  ShardMsg msg;
+  msg.packet = std::move(packet);
+  msg.is_packet = true;
+  PostMsg(shard, std::move(msg));
+  return true;
+}
+
+size_t ShardRuntime::DrainInbox(int shard) {
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  size_t n = 0;
+  ShardMsg msg;
+  while (w.inbox->TryPop(&msg)) {
+    if (msg.is_packet) {
+      if (w.chan != nullptr) {  // UDP rings carry tasks only.
+        w.chan->DeliverFromRing(msg.packet);
+      }
+      msg.packet = Packet{};
+    } else if (msg.task) {
+      msg.task();
+      msg.task = nullptr;
+    }
+    n++;
+  }
+  return n;
+}
+
+void ShardRuntime::WorkerLoop(int shard) {
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  while (!stop_.load(std::memory_order_acquire)) {
+    DrainInbox(shard);
+    if (w.udp != nullptr) {
+      // Blocks in poll(2) on the shard's sockets + wakeup eventfd.
+      w.udp->PollWait(config_.poll_slice);
+    } else {
+      size_t events = w.chan->Poll();
+      if (events == 0 && w.inbox->Empty()) {
+        w.waker.WaitFor(std::min<VTime>(config_.poll_slice, w.chan->NanosUntilNextTimer()));
+      }
+    }
+  }
+  // Drain-out: pending ring messages and staged traffic are processed so
+  // Stop() leaves deterministic, fully-flushed state behind.
+  DrainInbox(shard);
+  if (w.udp != nullptr) {
+    w.udp->Poll();
+  } else {
+    w.chan->Poll();
+  }
+}
+
+uint64_t ShardRuntime::total_delivered() const {
+  uint64_t total = 0;
+  for (const auto& c : delivered_) {
+    total += c->load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+NetworkStats ShardRuntime::AggregateNetStats() const {
+  NetworkStats total;
+  for (const auto& worker : workers_) {
+    total.Add(worker->udp != nullptr ? worker->udp->stats() : worker->chan->stats());
+  }
+  return total;
+}
+
+MpscRingStats ShardRuntime::AggregateRingStats() const {
+  MpscRingStats total;
+  for (const auto& worker : workers_) {
+    const MpscRingStats& s = worker->inbox->stats();
+    total.pushed += s.pushed;
+    total.popped += s.popped;
+    total.full_fails += s.full_fails;
+  }
+  return total;
+}
+
+}  // namespace ensemble

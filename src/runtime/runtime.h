@@ -1,0 +1,219 @@
+// ShardRuntime — multi-core execution of many single-threaded endpoints.
+//
+// The paper's Ensemble stacks ran one event loop per process; this runtime
+// scales the same machinery across cores without giving up the paper's
+// single-threaded-stack discipline: N worker threads, each owning a disjoint
+// set of GroupEndpoints plus its *own* network backend and timer heap, so
+// every protocol stack, bypass route, transport packer, and buffer pool is
+// touched by exactly one thread and the hot paths keep running lock-free.
+//
+// Cross-shard traffic is confined to two channels:
+//
+//   - bounded lock-free MPSC rings (src/util/mpsc_ring.h), one per worker,
+//     drained at the top of each worker's poll loop.  They carry harness
+//     control (start/stop/injected sends), stat requests, and — for the
+//     in-process channel backend — cross-shard packet delivery.  A full ring
+//     is backpressure: the poster spins (yielding) until the consumer drains.
+//   - the kernel, for the UDP backend: every endpoint owns a real socket, and
+//     AddPeer() teaches each shard's UdpNetwork the ports of endpoints living
+//     on other shards, so cross-shard datagrams are ordinary loopback sends.
+//
+// Idle workers block in poll(2) (UDP: sockets + eventfd wakeup; channel:
+// eventfd only) instead of spinning; posting into a ring wakes the owner.
+//
+// Lifecycle: construct → Build(n) → Start() → Post*/run → Stop().  Build and
+// Start run on the caller's thread before any worker exists; after Start(),
+// endpoints may only be touched from their owning worker (use PostToMember).
+// After Stop() joins the workers, the caller may read everything again.
+
+#ifndef ENSEMBLE_SRC_RUNTIME_RUNTIME_H_
+#define ENSEMBLE_SRC_RUNTIME_RUNTIME_H_
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "src/app/endpoint.h"
+#include "src/net/udp.h"
+#include "src/util/mpsc_ring.h"
+#include "src/util/waker.h"
+
+namespace ensemble {
+
+class ShardRuntime;
+
+enum class ShardBackend {
+  kUdp,      // Real kernel loopback sockets (the measured hot path).
+  kChannel,  // In-process rings only: the sharded analog of the simulator,
+             // used by stress tests and environments without sockets.
+};
+
+struct ShardRuntimeConfig {
+  ShardBackend backend = ShardBackend::kUdp;
+  int num_workers = 1;
+  EndpointConfig ep;
+  // Optional per-member mode override (same convention as HarnessConfig).
+  std::vector<StackMode> member_modes;
+  UdpBatchConfig batch;          // UDP backend batching knobs.
+  size_t ring_capacity = 4096;   // Per-worker cross-shard inbox slots.
+  VTime poll_slice = Millis(5);  // Max idle block per worker loop iteration.
+  // Optional application tap, called on the OWNING WORKER THREAD for every
+  // delivery (after the built-in per-member counter).  Must not touch other
+  // shards' state; payload slices must not outlive the callback unless
+  // copied (receive buffers are pool-backed and shard-local).
+  std::function<void(int member, const Event&)> on_deliver;
+};
+
+// One message in a cross-shard ring: a control task, or (channel backend) a
+// packet being delivered to an endpoint owned by the receiving shard.
+struct ShardMsg {
+  std::function<void()> task;
+  Packet packet;
+  bool is_packet = false;
+};
+
+// In-process sharded backend: same-shard sends go through a local FIFO
+// drained by Poll() (never delivered re-entrantly from inside Send), and
+// cross-shard sends travel the owning shard's MPSC ring.  Timers are a
+// wall-clock min-heap, as in UdpNetwork.  Lossless and FIFO per link.
+class ChannelNetwork : public Network {
+ public:
+  ChannelNetwork(ShardRuntime* rt, int shard) : rt_(rt), shard_(shard) {}
+
+  void Attach(EndpointId ep, DeliverFn deliver) override;
+  void Detach(EndpointId ep) override;
+  void Send(EndpointId src, EndpointId dst, const Iovec& gather) override;
+  void Broadcast(EndpointId src, const Iovec& gather) override;
+  void ScheduleTimer(VTime delay, TimerFn fn) override;
+  VTime Now() const override { return NowNanos(); }
+  void SetDrainHook(EndpointId ep, std::function<void()> hook) override;
+
+  // Owning-thread entry points used by the runtime's worker loop.
+  void DeliverFromRing(const Packet& packet);  // Ring drain: deliver now.
+  size_t Poll();  // Drain the local FIFO + run due timers + drain hooks.
+  // The FIFO/hook half of Poll() without firing timers: the post-Stop sweep
+  // uses it so periodic timers can't regenerate traffic forever.
+  size_t DrainQueues();
+  VTime NanosUntilNextTimer() const;
+
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  struct Timer {
+    VTime due;
+    uint64_t seq;
+    TimerFn fn;
+    bool operator>(const Timer& o) const {
+      return due != o.due ? due > o.due : seq > o.seq;
+    }
+  };
+
+  void RouteOne(EndpointId src, EndpointId dst, const Bytes& flat);
+  void DeliverLocal(const Packet& packet);
+
+  ShardRuntime* rt_;
+  int shard_;
+  std::map<EndpointId, DeliverFn> local_;
+  std::map<EndpointId, std::function<void()>> drain_hooks_;
+  std::deque<Packet> local_q_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  uint64_t timer_seq_ = 0;
+  NetworkStats stats_;
+};
+
+class ShardRuntime {
+ public:
+  explicit ShardRuntime(ShardRuntimeConfig config);
+  ~ShardRuntime();
+
+  ShardRuntime(const ShardRuntime&) = delete;
+  ShardRuntime& operator=(const ShardRuntime&) = delete;
+
+  // Creates `n` endpoints partitioned into groups of `group_size` consecutive
+  // members (0 = one group of everyone); each group is a separate view with
+  // its own protocol session.  Groups are distributed round-robin across
+  // shards so a group's traffic stays shard-local; when there are fewer
+  // groups than workers (e.g. the single all-members group), members are
+  // spread round-robin instead so every worker has work.  Returns false if a
+  // backend resource failed (no sockets).  Main thread, before Start().
+  bool Build(int n, int group_size = 0);
+
+  // Installs every group's initial view (compiling bypass routes), then
+  // launches the worker threads.
+  void Start();
+
+  // Signals stop, wakes every worker, joins them, and runs a final drain so
+  // staged traffic and pending ring tasks are accounted for.  Idempotent.
+  void Stop();
+
+  int n() const { return static_cast<int>(members_.size()); }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  int ShardOf(int member) const { return shard_of_[static_cast<size_t>(member)]; }
+  bool started() const { return started_; }
+
+  // Enqueues a task on shard `s`'s ring (spinning on backpressure) and wakes
+  // the worker.  The task runs on the worker thread at its next loop top.
+  void Post(int shard, std::function<void()> task);
+  // Convenience: run `fn` on `member`'s owning worker with the endpoint.
+  void PostToMember(int member, std::function<void(GroupEndpoint&)> fn);
+
+  // Relaxed counters, safe to read from any thread while workers run.
+  uint64_t delivered(int member) const {
+    return delivered_[static_cast<size_t>(member)]->load(std::memory_order_relaxed);
+  }
+  uint64_t total_delivered() const;
+
+  // Per-shard NetworkStats summed with NetworkStats::Add.  Exact after
+  // Stop(); a live snapshot (relaxed reads) while running.
+  NetworkStats AggregateNetStats() const;
+  // Cross-shard ring totals (pushed / popped / full-ring backpressure hits).
+  MpscRingStats AggregateRingStats() const;
+
+  // Main thread, only before Start() or after Stop().
+  GroupEndpoint& member(int i) { return *members_[static_cast<size_t>(i)]; }
+
+  // Internal (ChannelNetwork): routes a flattened packet to the shard owning
+  // `dst`, or drops it if no such endpoint exists.  Returns false on drop.
+  bool RoutePacket(EndpointId dst, Packet packet);
+  // Internal (ChannelNetwork): every endpoint id in the runtime, in member
+  // order.  Immutable after Build().
+  const std::vector<EndpointId>& AllIds() const { return all_ids_; }
+
+ private:
+  struct Worker {
+    std::unique_ptr<UdpNetwork> udp;
+    std::unique_ptr<ChannelNetwork> chan;
+    Network* net = nullptr;
+    std::unique_ptr<MpscRing<ShardMsg>> inbox;
+    Waker waker;  // Channel-backend sleep; UDP uses the network's own.
+    std::thread thread;
+  };
+
+  void WorkerLoop(int shard);
+  size_t DrainInbox(int shard);
+  void WakeWorker(int shard);
+  void PostMsg(int shard, ShardMsg msg);
+  int ShardOfId(EndpointId id) const;
+
+  ShardRuntimeConfig config_;
+  // Workers before members: member destructors detach from worker-owned nets.
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<GroupEndpoint>> members_;
+  std::vector<int> shard_of_;           // member index → shard.
+  std::vector<EndpointId> all_ids_;     // member index → id.
+  std::vector<int> shard_of_id_;        // id.id - 1 → shard (dense ids).
+  std::vector<std::vector<int>> groups_;  // group → member indices.
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> delivered_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_RUNTIME_RUNTIME_H_

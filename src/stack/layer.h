@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/event/event.h"
+#include "src/util/counters.h"
 #include "src/util/vtime.h"
 
 namespace ensemble {
@@ -96,9 +97,10 @@ class Layer {
 // Process-wide execution counters, for the Table-2a software proxies when
 // hardware counters are unavailable: how many layer handler invocations the
 // normal path performed vs. how many fused rule applications the bypass did.
+// Relaxed atomics: under the sharded runtime every worker thread bumps these.
 struct DispatchStats {
-  uint64_t layer_invocations = 0;   // Layer::Dn / Layer::Up calls by engines.
-  uint64_t bypass_rule_steps = 0;   // CCP + update applications in routes.
+  RelaxedCounter layer_invocations;  // Layer::Dn / Layer::Up calls by engines.
+  RelaxedCounter bypass_rule_steps;  // CCP + update applications in routes.
 };
 DispatchStats& GlobalDispatchStats();
 

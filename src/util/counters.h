@@ -1,0 +1,52 @@
+// Relaxed atomic counters for cross-thread statistics.
+//
+// The sharded runtime gives every worker thread its own network backend, so
+// the hot paths stay single-threaded — but stats are aggregated (and benches
+// read them) from other threads.  RelaxedCounter is a drop-in replacement for
+// a plain uint64_t stats field: same ++/+=/= syntax, implicit read as
+// uint64_t, but every access is a relaxed atomic, so concurrent aggregation
+// is defined behavior.  Relaxed ordering is enough: counters carry no
+// happens-before obligations, only tallies.
+
+#ifndef ENSEMBLE_SRC_UTIL_COUNTERS_H_
+#define ENSEMBLE_SRC_UTIL_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace ensemble {
+
+class RelaxedCounter {
+ public:
+  RelaxedCounter(uint64_t v = 0) : v_(v) {}  // NOLINT: implicit by design.
+
+  RelaxedCounter(const RelaxedCounter& o) : v_(o.value()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) {
+    v_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  operator uint64_t() const { return value(); }  // NOLINT: implicit by design.
+
+  RelaxedCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t operator++(int) { return v_.fetch_add(1, std::memory_order_relaxed); }
+  RelaxedCounter& operator+=(uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> v_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_UTIL_COUNTERS_H_

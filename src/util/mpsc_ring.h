@@ -1,0 +1,129 @@
+// Bounded lock-free multi-producer / single-consumer ring.
+//
+// The sharded runtime's cross-shard channel: any thread may TryPush (harness
+// control, cross-shard packet delivery, stat requests); exactly one worker
+// thread pops, at the top of its poll loop.  The implementation is Dmitry
+// Vyukov's bounded MPMC queue (per-cell sequence numbers, one CAS per
+// enqueue) restricted to a single consumer, which keeps it correct under any
+// producer interleaving while staying allocation-free after construction.
+//
+// Guarantees:
+//   - bounded: TryPush fails (returns false) when the ring is full — the
+//     backpressure signal; nothing ever blocks inside the ring itself.
+//   - FIFO per producer: two pushes by the same thread pop in push order.
+//     (Cross-producer order is whatever the CAS race decided.)
+//   - no ABA / no torn values: a cell's value is published by its sequence
+//     store (release) and consumed after the matching load (acquire).
+
+#ifndef ENSEMBLE_SRC_UTIL_MPSC_RING_H_
+#define ENSEMBLE_SRC_UTIL_MPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "src/util/counters.h"
+
+namespace ensemble {
+
+struct MpscRingStats {
+  RelaxedCounter pushed;     // Successful TryPush calls.
+  RelaxedCounter popped;     // Successful TryPop calls.
+  RelaxedCounter full_fails; // TryPush attempts rejected by a full ring.
+};
+
+template <typename T>
+class MpscRing {
+ public:
+  // Capacity is rounded up to a power of two (minimum 2).
+  explicit MpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; i++) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  // Any thread.  False when the ring is full (backpressure; retry later).
+  // On failure `value` is left untouched, so a caller can spin on the same
+  // object without copies.
+  bool TryPush(T&& value) {
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      size_t seq = cell.seq.load(std::memory_order_acquire);
+      intptr_t diff = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          stats_.pushed++;
+          return true;
+        }
+        // CAS lost: `pos` was reloaded; retry on the new slot.
+      } else if (diff < 0) {
+        stats_.full_fails++;
+        return false;  // Full: the consumer hasn't freed this cell yet.
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);  // Raced; reload.
+      }
+    }
+  }
+  bool TryPush(const T& value) {
+    T copy(value);
+    return TryPush(std::move(copy));
+  }
+
+  // Consumer thread only.  False when the ring is empty.
+  bool TryPop(T* out) {
+    size_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0) {
+      return false;  // Producer hasn't published this cell yet.
+    }
+    *out = std::move(cell.value);
+    cell.value = T();  // Drop payload refs promptly (Bytes, closures).
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    stats_.popped++;
+    return true;
+  }
+
+  // Consumer-side emptiness probe (racy for producers, exact for consumer).
+  bool Empty() const {
+    size_t pos = head_.load(std::memory_order_relaxed);
+    size_t seq = cells_[pos & mask_].seq.load(std::memory_order_acquire);
+    return static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+  const MpscRingStats& stats() const { return stats_; }
+
+ private:
+  // Sequence and value sit in separate cache-line-ish units naturally; the
+  // ring is contended only at the tail CAS, which is the design's point.
+  struct Cell {
+    std::atomic<size_t> seq;
+    T value;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<size_t> tail_{0};  // Producers.
+  alignas(64) std::atomic<size_t> head_{0};  // Consumer.
+  MpscRingStats stats_;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_UTIL_MPSC_RING_H_

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/util/bytes.h"
+#include "src/util/counters.h"
 
 namespace ensemble {
 
@@ -26,7 +27,9 @@ struct PoolStats {
 
 // Fixed-size-class chunk pool.  Not thread-safe: Ensemble stacks are
 // single-threaded by design (the paper: per-layer threads cost too much in
-// context switches), so each stack owns its pool.
+// context switches), so each stack owns its pool.  The sharded runtime keeps
+// this true per shard — a pooled slice must drop its last reference on its
+// owning shard's thread; payloads that cross shards are copied first.
 class BufferPool {
  public:
   // `chunk_size` is the payload capacity of every chunk.
@@ -58,11 +61,12 @@ class BufferPool {
 };
 
 // Process-wide counters for plain heap chunk traffic, so benches can report
-// "allocations avoided" for the pooled configuration.
+// "allocations avoided" for the pooled configuration.  Relaxed atomics: every
+// shard worker allocates and frees heap chunks concurrently.
 struct HeapBufferStats {
-  uint64_t heap_allocations = 0;
-  uint64_t heap_frees = 0;
-  uint64_t bytes_copied = 0;  // Payload bytes memcpy'd by Bytes::Copy/Flatten.
+  RelaxedCounter heap_allocations = 0;
+  RelaxedCounter heap_frees = 0;
+  RelaxedCounter bytes_copied = 0;  // Payload bytes memcpy'd by Bytes::Copy/Flatten.
 };
 HeapBufferStats& GlobalHeapBufferStats();
 

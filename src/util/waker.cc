@@ -1,0 +1,92 @@
+#include "src/util/waker.h"
+
+#if defined(__linux__) || defined(__APPLE__)
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/eventfd.h>
+#define ENSEMBLE_HAVE_EVENTFD 1
+#endif
+
+namespace ensemble {
+
+Waker::Waker() {
+#if defined(ENSEMBLE_HAVE_EVENTFD)
+  read_fd_ = write_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+#else
+  int fds[2];
+  if (pipe(fds) == 0) {
+    read_fd_ = fds[0];
+    write_fd_ = fds[1];
+    fcntl(read_fd_, F_SETFL, fcntl(read_fd_, F_GETFL, 0) | O_NONBLOCK);
+    fcntl(write_fd_, F_SETFL, fcntl(write_fd_, F_GETFL, 0) | O_NONBLOCK);
+  }
+#endif
+}
+
+Waker::~Waker() {
+  if (read_fd_ >= 0) {
+    close(read_fd_);
+  }
+  if (write_fd_ >= 0 && write_fd_ != read_fd_) {
+    close(write_fd_);
+  }
+}
+
+void Waker::Notify() {
+  if (write_fd_ < 0) {
+    return;
+  }
+  uint64_t one = 1;
+  // A full pipe / saturated eventfd counter still means "pending": the owner
+  // has unconsumed notifications, so a short or failed write loses nothing.
+  [[maybe_unused]] ssize_t n = write(write_fd_, &one, sizeof(one));
+}
+
+void Waker::Drain() {
+  if (read_fd_ < 0) {
+    return;
+  }
+  uint64_t buf[8];
+  while (read(read_fd_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+bool Waker::WaitFor(uint64_t ns) {
+  if (read_fd_ < 0) {
+    return false;
+  }
+  pollfd pfd{read_fd_, POLLIN, 0};
+  int timeout_ms = static_cast<int>((ns + 999'999) / 1'000'000);
+  int r = ::poll(&pfd, 1, timeout_ms);
+  if (r > 0) {
+    Drain();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ensemble
+
+#else  // Non-POSIX: no fd; waits degrade to plain sleeps.
+
+#include <chrono>
+#include <thread>
+
+namespace ensemble {
+
+Waker::Waker() = default;
+Waker::~Waker() = default;
+void Waker::Notify() {}
+void Waker::Drain() {}
+bool Waker::WaitFor(uint64_t ns) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+  return false;
+}
+
+}  // namespace ensemble
+
+#endif

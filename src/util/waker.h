@@ -1,0 +1,51 @@
+// Cross-thread wakeup primitive: a pollable fd another thread can poke.
+//
+// An idle shard worker blocks in poll(2) on its sockets; when another thread
+// posts into its cross-shard ring it must break that sleep immediately.  The
+// Waker is an eventfd (Linux) or a non-blocking pipe (other POSIX) whose read
+// end joins the worker's poll set; Notify() is a single write(2) and is the
+// only operation that may be called from foreign threads.  On platforms with
+// neither, Notify is a no-op and WaitFor degrades to a plain sleep — callers
+// still make progress, just without prompt wakeups.
+
+#ifndef ENSEMBLE_SRC_UTIL_WAKER_H_
+#define ENSEMBLE_SRC_UTIL_WAKER_H_
+
+#include <cstdint>
+
+namespace ensemble {
+
+class Waker {
+ public:
+  Waker();
+  ~Waker();
+
+  Waker(const Waker&) = delete;
+  Waker& operator=(const Waker&) = delete;
+
+  // Thread-safe: wakes the owner if it is (or is about to start) waiting.
+  // Notifications are sticky until Drain(): a notify just before the owner
+  // blocks makes the next wait return immediately — no lost wakeups.
+  void Notify();
+
+  // Owner thread: consumes pending notifications.
+  void Drain();
+
+  // Owner thread: blocks until notified or `ns` nanoseconds pass (millisecond
+  // granularity).  Returns true if a notification was consumed.
+  bool WaitFor(uint64_t ns);
+
+  // Pollable read end for embedding in a caller-owned poll(2) set, or -1 when
+  // the platform has no fd to offer.
+  int fd() const { return read_fd_; }
+
+  bool ok() const { return read_fd_ >= 0; }
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;  // Same as read_fd_ for eventfd.
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_UTIL_WAKER_H_

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/app/endpoint.h"
+#include "src/app/harness.h"
 #include "src/net/udp.h"
 
 namespace ensemble {
@@ -243,6 +244,69 @@ TEST(UdpGroupTest, PackedBatchedMachGroupOverRealSockets) {
   EXPECT_GT(b.stats().packed_in, 0u);
   EXPECT_GT(net.stats().packed_datagrams, 0u);
   EXPECT_GT(net.stats().send_batches, 0u);
+}
+
+// Regression (drain-hook flush): with packing on and periodic timers OFF, a
+// message staged by a deliver callback *during a socket drain* must still go
+// out when Poll() finishes — previously it sat in the pack buffer until the
+// next timer tick, which never came.
+TEST(UdpGroupTest, PackedReplyFromDeliverFlushesWithoutTimers) {
+  if (!UdpAvailable()) {
+    GTEST_SKIP() << "no UDP sockets in this environment";
+  }
+  UdpNetwork net;
+  EndpointConfig config;
+  config.mode = StackMode::kMachine;
+  config.layers = FourLayerStack();
+  config.params.local_loopback = false;
+  config.timer_interval = 0;  // No periodic flush: drain hooks must carry it.
+  config.pack_messages = true;
+  config.pack_window = 64;  // Never reached by one reply: only hooks flush.
+
+  GroupEndpoint a(EndpointId{1}, &net, config);
+  GroupEndpoint b(EndpointId{2}, &net, config);
+  std::vector<std::string> a_got;
+  a.OnDeliver([&](const Event& ev) { a_got.push_back(ev.payload.Flatten().ToString()); });
+  b.OnDeliver([&](const Event& ev) {
+    // Staged into b's pack buffer mid-drain; no timer will ever flush it.
+    b.Cast(Iovec(Bytes::CopyString("reply")));
+  });
+
+  auto view = std::make_shared<View>();
+  view->vid = ViewId{0, 1};
+  view->members = {EndpointId{1}, EndpointId{2}};
+  a.Start(view);
+  b.Start(view);
+
+  a.Cast(Iovec(Bytes::CopyString("ping")));
+  a.Flush();
+  net.PollFor(Millis(100));
+
+  ASSERT_EQ(a_got.size(), 1u);
+  EXPECT_EQ(a_got[0], "reply");
+}
+
+// Regression (FlushAll trailing flush): in the simulator, the last member's
+// FlushPacked stages datagrams after every per-member net flush already ran;
+// FlushAll must close the batching boundary once more so a burst staged with
+// no subsequent timer tick is still delivered by the drain loop.
+TEST(UdpGroupTest, HarnessFlushAllFlushesLastMembersPack) {
+  HarnessConfig config;
+  config.n = 2;
+  config.ep.mode = StackMode::kMachine;
+  config.ep.layers = FourLayerStack();
+  config.ep.params.local_loopback = false;
+  config.ep.timer_interval = 0;  // Only FlushAll may flush.
+  config.ep.pack_messages = true;
+  config.ep.pack_window = 64;
+
+  GroupHarness harness(config);
+  harness.StartAll();
+  harness.CastFrom(1, "staged-by-last-member");  // Last member: the old gap.
+  harness.FlushAll();
+  harness.RunAll();
+  ASSERT_EQ(harness.CastPayloads(0).size(), 1u);
+  EXPECT_EQ(harness.CastPayloads(0)[0], "staged-by-last-member");
 }
 
 TEST(UdpGroupTest, Pt2ptSendsOverRealSockets) {
