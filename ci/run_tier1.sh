@@ -23,3 +23,6 @@ cmake -B build -S .
 cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
 cd build
 ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+# Scheduler smoke: a shrunk skew run that fails if work stealing stops
+# moving endpoints (skips itself cleanly when the env has no UDP sockets).
+./bench/bench_skew --smoke

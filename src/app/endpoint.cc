@@ -109,9 +109,19 @@ void GroupEndpoint::ArmTimer() {
     return;
   }
   std::weak_ptr<bool> alive = alive_token_;
-  net_->ScheduleTimer(config_.timer_interval, [this, alive]() {
+  uint64_t epoch = net_epoch_.load(std::memory_order_relaxed);
+  net_->ScheduleTimer(config_.timer_interval, [this, alive, epoch]() {
     auto token = alive.lock();
-    if (!token || !*token || !alive_) {
+    if (!token) {
+      return;
+    }
+    // A migration leaves this callback queued on the OLD shard's timer heap;
+    // it fires on the old thread after ownership moved.  The epoch check is
+    // the only read it may perform then — stale means bail, touching nothing.
+    if (net_epoch_.load(std::memory_order_acquire) != epoch) {
+      return;
+    }
+    if (!*token || !alive_) {
       return;
     }
     stack_->Down(Event::Timer(net_->Now()));
@@ -120,6 +130,18 @@ void GroupEndpoint::ArmTimer() {
     Flush();
     ArmTimer();
   });
+}
+
+void GroupEndpoint::BeginRebind() {
+  Flush();  // Staged packs and network rings drain on the old backend.
+  net_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void GroupEndpoint::FinishRebind(Network* net) {
+  net_ = net;
+  if (started_) {
+    ArmTimer();  // Reads the post-bump epoch: the new timer chain is valid.
+  }
 }
 
 void GroupEndpoint::Flush() {

@@ -20,6 +20,7 @@
 #ifndef ENSEMBLE_SRC_APP_ENDPOINT_H_
 #define ENSEMBLE_SRC_APP_ENDPOINT_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -98,6 +99,18 @@ class GroupEndpoint {
   // delayed, never stuck.
   void Flush();
 
+  // Migration support (the sharded runtime's work stealing): an endpoint can
+  // be rebound to a different Network — another shard's backend — without its
+  // stack, transport, or bypass routes ever seeing a second thread.  The
+  // caller (ShardRuntime) sequences the two halves through its cross-shard
+  // rings: BeginRebind runs on the CURRENT owning thread (flushes staged
+  // traffic and invalidates timers still queued on the old network's heap —
+  // they fire there, observe a stale epoch, and return without touching the
+  // stack); FinishRebind runs on the NEW owning thread after the backend
+  // state moved, repointing the endpoint and re-arming its periodic timer.
+  void BeginRebind();
+  void FinishRebind(Network* net);
+
   // Leaves the group: the endpoint goes silent and detaches from the
   // network.  Remaining members' failure detectors observe the silence and
   // vote the leaver out (membership stacks), exactly like a crash — Ensemble
@@ -150,6 +163,10 @@ class GroupEndpoint {
   bool started_ = false;
   bool alive_ = true;  // Cleared on kExit (excluded from a view).
   std::shared_ptr<bool> alive_token_;  // Guards timer callbacks after dtor.
+  // Bumped by BeginRebind: a timer armed before a migration carries the old
+  // value and bails out (the ONLY field it may read — everything else still
+  // belongs to the new owning thread).
+  std::atomic<uint64_t> net_epoch_{0};
 };
 
 }  // namespace ensemble

@@ -130,12 +130,23 @@ int GroupHarness::AddMember() {
 GroupHarness::ShardedRunResult GroupHarness::RunSharded(int num_workers,
                                                         int casts_per_member,
                                                         VTime max_wait) {
+  return RunSharded(num_workers, casts_per_member, max_wait, ShardedRunOptions{});
+}
+
+GroupHarness::ShardedRunResult GroupHarness::RunSharded(int num_workers,
+                                                        int casts_per_member,
+                                                        VTime max_wait,
+                                                        const ShardedRunOptions& options) {
   ShardedRunResult result;
   ShardRuntimeConfig rt_config;
   rt_config.backend = ShardBackend::kUdp;
   rt_config.num_workers = num_workers;
   rt_config.ep = config_.ep;
   rt_config.member_modes = config_.member_modes;
+  rt_config.batch = options.batch;
+  rt_config.steal = options.steal;
+  rt_config.pin_cores = options.pin_cores;
+  rt_config.initial_shard = options.initial_shard;
 
   ShardRuntime rt(rt_config);
   if (!rt.Build(config_.n)) {
@@ -170,6 +181,7 @@ GroupHarness::ShardedRunResult GroupHarness::RunSharded(int num_workers,
   result.total_delivered = rt.total_delivered();
   result.net = rt.AggregateNetStats();
   result.rings = rt.AggregateRingStats();
+  result.sched = rt.SchedStats();
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/app/endpoint.h"
+#include "src/runtime/runtime.h"
 #include "src/util/mpsc_ring.h"
 
 namespace ensemble {
@@ -89,6 +90,15 @@ class GroupHarness {
     uint64_t total_delivered = 0; // Sum of per-member delivery counts.
     NetworkStats net;             // Aggregated across all shards.
     MpscRingStats rings;          // Cross-shard ring traffic.
+    ShardSchedStats sched;        // Steals, credit parks, wakeup coalescing.
+  };
+
+  // Runtime knobs RunSharded passes through to the ShardRuntime it builds.
+  struct ShardedRunOptions {
+    UdpBatchConfig batch;           // Socket batching (default: eager).
+    StealConfig steal;              // Work stealing (default: off).
+    bool pin_cores = false;         // Worker → core affinity.
+    std::vector<int> initial_shard; // Explicit member placement (skew setups).
   };
 
   // Sharded-runtime mode: builds a *separate* ShardRuntime (UDP backend) with
@@ -101,6 +111,8 @@ class GroupHarness {
   // or the workload did not complete in time.
   ShardedRunResult RunSharded(int num_workers, int casts_per_member = 1,
                               VTime max_wait = Seconds(10));
+  ShardedRunResult RunSharded(int num_workers, int casts_per_member, VTime max_wait,
+                              const ShardedRunOptions& options);
 
  private:
   HarnessConfig config_;

@@ -92,6 +92,43 @@ void UdpNetwork::AddPeer(EndpointId ep, uint16_t port) {
   by_port_[port] = ep;
 }
 
+UdpNetwork::ReleasedEndpoint UdpNetwork::Release(EndpointId ep) {
+  ReleasedEndpoint out;
+  auto it = endpoints_.find(ep);
+  if (it == endpoints_.end()) {
+    return out;
+  }
+  FlushEndpoint(it->second);  // Staged sends go out before ownership moves.
+  out.fd = it->second.fd;
+  out.port = it->second.port;
+  out.deliver = std::move(it->second.deliver);
+  if (auto hook = drain_hooks_.find(ep); hook != drain_hooks_.end()) {
+    out.drain_hook = std::move(hook->second);
+    drain_hooks_.erase(hook);
+  }
+  endpoints_.erase(it);
+  // The endpoint keeps its port on the thief's shard; by_port_ stays for
+  // source attribution and the peer entry keeps local senders reaching it.
+  peers_[ep] = out.port;
+  return out;
+}
+
+void UdpNetwork::Adopt(EndpointId ep, ReleasedEndpoint state) {
+  if (state.fd < 0) {
+    return;
+  }
+  peers_.erase(ep);
+  Endpoint local;
+  local.fd = state.fd;
+  local.port = state.port;
+  local.deliver = std::move(state.deliver);
+  by_port_[local.port] = ep;
+  if (state.drain_hook) {
+    drain_hooks_[ep] = std::move(state.drain_hook);
+  }
+  endpoints_[ep] = std::move(local);  // Next PollWait rebuilds the fd set.
+}
+
 void UdpNetwork::SetDrainHook(EndpointId ep, std::function<void()> hook) {
   if (hook) {
     drain_hooks_[ep] = std::move(hook);
@@ -418,12 +455,8 @@ size_t UdpNetwork::Poll() {
   return drained + timers;
 }
 
-size_t UdpNetwork::PollWait(VTime max_wait) {
-  size_t events = Poll();
-  if (events > 0) {
-    return events;
-  }
-  // Idle: block in poll(2) on the sockets plus the wakeup fd, until traffic
+void UdpNetwork::IdleWait(VTime max_wait) {
+  // Block in poll(2) on the sockets plus the wakeup fd, until traffic
   // arrives, another thread calls Wakeup(), the next timer is due, or
   // `max_wait` passes — whichever is first.
   std::vector<pollfd> fds;
@@ -444,6 +477,14 @@ size_t UdpNetwork::PollWait(VTime max_wait) {
     ::poll(fds.data(), fds.size(), timeout_ms);
   }
   waker_.Drain();
+}
+
+size_t UdpNetwork::PollWait(VTime max_wait) {
+  size_t events = Poll();
+  if (events > 0) {
+    return events;
+  }
+  IdleWait(max_wait);
   return Poll();
 }
 
@@ -483,6 +524,9 @@ void UdpNetwork::Broadcast(EndpointId, const Iovec&) {
 }
 void UdpNetwork::Flush() {}
 void UdpNetwork::AddPeer(EndpointId, uint16_t) {}
+UdpNetwork::ReleasedEndpoint UdpNetwork::Release(EndpointId) { return {}; }
+void UdpNetwork::Adopt(EndpointId, ReleasedEndpoint) {}
+void UdpNetwork::IdleWait(VTime) {}
 void UdpNetwork::SetDrainHook(EndpointId, std::function<void()>) {}
 void UdpNetwork::ScheduleTimer(VTime, TimerFn) {
   ok_ = false;

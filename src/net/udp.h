@@ -83,6 +83,26 @@ class UdpNetwork : public Network {
   // only: call before the owning threads start polling.
   void AddPeer(EndpointId ep, uint16_t port);
 
+  // Ownership handoff between shards (owning thread of each side only; the
+  // sharded runtime sequences the two halves through its rings, which is the
+  // happens-before edge).  Release() detaches `ep` WITHOUT closing its
+  // socket: staged sends are flushed, the socket plus the registered deliver
+  // callback and drain hook are returned, and the endpoint is re-registered
+  // as a peer here (same port, so local endpoints keep reaching it — the
+  // kernel keeps being the data plane).  Datagrams queued in the socket's
+  // receive buffer travel with the fd: nothing in flight is lost or
+  // reordered.  Adopt() installs a released endpoint on the thief's network
+  // and drops any peer entry for it.
+  struct ReleasedEndpoint {
+    int fd = -1;
+    uint16_t port = 0;
+    DeliverFn deliver;
+    std::function<void()> drain_hook;
+    bool ok() const { return fd >= 0; }
+  };
+  ReleasedEndpoint Release(EndpointId ep);
+  void Adopt(EndpointId ep, ReleasedEndpoint state);
+
   // Pushes every staged datagram to the wire (no-op when nothing is staged).
   void Flush() override;
 
@@ -106,9 +126,18 @@ class UdpNetwork : public Network {
   // capped at `max_wait` — then Poll() again.  The shard worker's loop body.
   size_t PollWait(VTime max_wait);
 
-  // The ONLY thread-safe method: breaks the owner out of a PollWait/PollFor
-  // sleep (e.g. after pushing into the owner's cross-shard ring).
-  void Wakeup() { waker_.Notify(); }
+  // The blocking half of PollWait alone: sleep in poll(2) on the sockets +
+  // wakeup fd, bounded by the next timer deadline and `max_wait`, consuming
+  // the wakeup.  Callers (the shard worker loop) Poll() themselves around it
+  // so they can account busy time separately from idle time.
+  void IdleWait(VTime max_wait);
+
+  // The ONLY thread-safe methods: break the owner out of a PollWait/PollFor
+  // sleep (e.g. after pushing into the owner's cross-shard ring).  Wakeup
+  // coalesces: a burst of cross-shard posts between two owner drains costs
+  // one eventfd write.
+  void Wakeup() { waker_.NotifyCoalesced(); }
+  Waker& waker() { return waker_; }
 
   // Safe to change at any time; staged sends are flushed first.
   void set_batch_config(UdpBatchConfig config) {

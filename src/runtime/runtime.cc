@@ -1,10 +1,24 @@
 #include "src/runtime/runtime.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/util/logging.h"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace ensemble {
+
+namespace {
+// Which runtime/shard the calling thread belongs to (set by WorkerLoop); any
+// other thread — the harness main thread, a bench driver — is "external" and
+// uses the extra credit link.
+thread_local const ShardRuntime* tls_rt = nullptr;
+thread_local int tls_shard = -1;
+}  // namespace
 
 // ---- ChannelNetwork --------------------------------------------------------
 
@@ -25,6 +39,45 @@ void ChannelNetwork::SetDrainHook(EndpointId ep, std::function<void()> hook) {
   }
 }
 
+ChannelNetwork::ReleasedEndpoint ChannelNetwork::Release(EndpointId ep) {
+  ReleasedEndpoint out;
+  auto it = local_.find(ep);
+  if (it == local_.end()) {
+    return out;
+  }
+  out.deliver = std::move(it->second);
+  local_.erase(it);
+  auto hit = drain_hooks_.find(ep);
+  if (hit != drain_hooks_.end()) {
+    out.drain_hook = std::move(hit->second);
+    drain_hooks_.erase(hit);
+  }
+  out.valid = true;
+  // Sweep packets to `ep` out of local_q_ so they travel with the handoff.
+  // Left behind, they would drain on a shard that is neither home nor owner
+  // once the pair departs, where the orphan chain has no forwarding state.
+  for (size_t i = 0, n = local_q_.size(); i < n; i++) {
+    Packet packet = std::move(local_q_.front());
+    local_q_.pop_front();
+    if (packet.dst == ep) {
+      out.queued.push_back(std::move(packet));
+    } else {
+      local_q_.push_back(std::move(packet));
+    }
+  }
+  return out;
+}
+
+void ChannelNetwork::Adopt(EndpointId ep, ReleasedEndpoint state) {
+  if (!state.valid) {
+    return;
+  }
+  local_[ep] = std::move(state.deliver);
+  if (state.drain_hook) {
+    drain_hooks_[ep] = std::move(state.drain_hook);
+  }
+}
+
 void ChannelNetwork::RouteOne(EndpointId src, EndpointId dst, const Bytes& flat) {
   if (local_.count(dst) > 0) {
     // Same shard: never delivered re-entrantly from inside Send — the local
@@ -32,7 +85,7 @@ void ChannelNetwork::RouteOne(EndpointId src, EndpointId dst, const Bytes& flat)
     local_q_.push_back(Packet{src, dst, false, flat});
     return;
   }
-  if (!rt_->RoutePacket(dst, Packet{src, dst, false, flat})) {
+  if (!rt_->RoutePacketFrom(shard_, Packet{src, dst, false, flat})) {
     stats_.dropped++;
   }
 }
@@ -74,7 +127,11 @@ VTime ChannelNetwork::NanosUntilNextTimer() const {
 void ChannelNetwork::DeliverLocal(const Packet& packet) {
   auto it = local_.find(packet.dst);
   if (it == local_.end()) {
-    stats_.dropped++;  // Left the group since the packet was routed.
+    // Not attached here: mid-migration, not yet adopted, or routed with a
+    // stale owner — the runtime knows which (and forwards or stashes it).
+    if (!rt_->HandleOrphanPacket(shard_, packet)) {
+      stats_.dropped++;  // Left the group since the packet was routed.
+    }
     return;
   }
   stats_.delivered++;
@@ -119,9 +176,26 @@ size_t ChannelNetwork::Poll() {
 
 ShardRuntime::ShardRuntime(ShardRuntimeConfig config) : config_(std::move(config)) {
   int w = std::max(1, config_.num_workers);
+  links_ = static_cast<size_t>(w) + 1;  // Worker links + one external link.
+  // Size the rings so every link's credit quota is useful; total credits never
+  // exceed ring capacity, which is what lets PostMsg assert instead of spin.
+  size_t cap = 2;
+  while (cap < config_.ring_capacity) {
+    cap <<= 1;
+  }
+  while (cap / links_ < 32) {
+    cap <<= 1;
+  }
+  credits_per_link_ = static_cast<int>(cap / links_);
+  credits_ = std::make_unique<std::atomic<int>[]>(static_cast<size_t>(w) * links_);
+  parked_ = std::make_unique<std::atomic<bool>[]>(static_cast<size_t>(w) * links_);
+  for (size_t i = 0; i < static_cast<size_t>(w) * links_; i++) {
+    credits_[i].store(credits_per_link_, std::memory_order_relaxed);
+    parked_[i].store(false, std::memory_order_relaxed);
+  }
   for (int s = 0; s < w; s++) {
     auto worker = std::make_unique<Worker>();
-    worker->inbox = std::make_unique<MpscRing<ShardMsg>>(config_.ring_capacity);
+    worker->inbox = std::make_unique<MpscRing<ShardMsg>>(cap);
     if (config_.backend == ShardBackend::kUdp) {
       worker->udp = std::make_unique<UdpNetwork>();
       worker->udp->set_batch_config(config_.batch);
@@ -148,9 +222,17 @@ bool ShardRuntime::Build(int n, int group_size) {
   // a single big group still exercises every core.
   bool spread_members = num_groups < w;
 
+  owner_of_ = std::make_unique<std::atomic<int>[]>(static_cast<size_t>(n));
+  for (auto& worker : workers_) {
+    worker->resident.assign(static_cast<size_t>(n), 0);
+  }
+
   for (int i = 0; i < n; i++) {
     int group = i / group_size;
     int shard = spread_members ? i % w : group % w;
+    if (static_cast<size_t>(i) < config_.initial_shard.size()) {
+      shard = std::clamp(config_.initial_shard[static_cast<size_t>(i)], 0, w - 1);
+    }
     EndpointConfig ep_config = config_.ep;
     if (static_cast<size_t>(i) < config_.member_modes.size()) {
       ep_config.mode = config_.member_modes[static_cast<size_t>(i)];
@@ -168,9 +250,12 @@ bool ShardRuntime::Build(int n, int group_size) {
       }
     });
     members_.push_back(std::move(ep));
-    shard_of_.push_back(shard);
+    home_of_.push_back(shard);
+    owner_of_[static_cast<size_t>(i)].store(shard, std::memory_order_relaxed);
+    Worker& home = *workers_[static_cast<size_t>(shard)];
+    home.resident[static_cast<size_t>(i)] = 1;
+    home.resident_count.fetch_add(1, std::memory_order_relaxed);
     all_ids_.push_back(id);
-    shard_of_id_.push_back(shard);
     if (static_cast<size_t>(group) >= groups_.size()) {
       groups_.emplace_back();
     }
@@ -186,7 +271,7 @@ bool ShardRuntime::Build(int n, int group_size) {
     // Publish every endpoint's port on every *other* shard's network: the
     // kernel becomes the cross-shard data plane.
     for (int i = 0; i < n; i++) {
-      int home = shard_of_[static_cast<size_t>(i)];
+      int home = home_of_[static_cast<size_t>(i)];
       uint16_t port = workers_[static_cast<size_t>(home)]->udp->PortOf(all_ids_[static_cast<size_t>(i)]);
       for (int s = 0; s < w; s++) {
         if (s != home) {
@@ -234,13 +319,16 @@ void ShardRuntime::Stop() {
   }
   joined_ = true;
   // Post-join sweep: worker A's final drain may have pushed into worker B's
-  // ring after B already exited.  Single-threaded now, so drain every shard
-  // until quiescent (bounded — deliveries can re-enqueue a few times).
+  // ring after B already exited, and a handoff interrupted mid-protocol may
+  // still have its adopt/marker tasks queued.  Single-threaded now, so drain
+  // every shard until quiescent (bounded — deliveries can re-enqueue a few
+  // times).
   for (int sweep = 0; sweep < 1000; sweep++) {
     size_t activity = 0;
     for (int s = 0; s < num_workers(); s++) {
       Worker& w = *workers_[static_cast<size_t>(s)];
       activity += DrainInbox(s);
+      activity += DrainDeferred(s);
       if (w.chan != nullptr) {
         activity += w.chan->DrainQueues();  // No timers: must converge.
       }
@@ -251,28 +339,96 @@ void ShardRuntime::Stop() {
   }
 }
 
-void ShardRuntime::WakeWorker(int shard) {
+// ---- Credits and posting ---------------------------------------------------
+
+int ShardRuntime::CurrentLinkIndex() const {
+  return (tls_rt == this && tls_shard >= 0) ? tls_shard : num_workers();
+}
+
+Waker& ShardRuntime::WakerOf(int shard) {
   Worker& w = *workers_[static_cast<size_t>(shard)];
-  if (w.udp != nullptr) {
-    w.udp->Wakeup();
-  } else {
-    w.waker.Notify();
+  return w.udp != nullptr ? w.udp->waker() : w.waker;
+}
+
+void ShardRuntime::WakeWorker(int shard) { WakerOf(shard).NotifyCoalesced(); }
+
+void ShardRuntime::GrantCredit(int dst, int src, uint32_t count) {
+  if (count == 0) {
+    return;
   }
+  CreditCell(dst, src).fetch_add(static_cast<int>(count), std::memory_order_release);
+  size_t link = static_cast<size_t>(dst) * links_ + static_cast<size_t>(src);
+  // Unpark a worker producer blocked on this link (external producers
+  // sleep-poll instead of parking — they have no waker).
+  if (src < num_workers() && parked_[link].load(std::memory_order_relaxed) &&
+      parked_[link].exchange(false, std::memory_order_acq_rel)) {
+    WakerOf(src).Notify();
+  }
+}
+
+void ShardRuntime::HoldOwnInbox(int shard) {
+  // Called by a worker parked on a FOREIGN ring: keep popping our OWN ring —
+  // popping executes nothing, so protocol stacks are never re-entered — and
+  // grant credits to our producers.  This is what lets two workers that are
+  // pushing into each other drain each other instead of deadlocking.
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  size_t cap = w.inbox->capacity() * 4;  // Backstop, not a real limit.
+  ShardMsg msg;
+  while (w.held.size() < cap && w.inbox->TryPop(&msg)) {
+    GrantCredit(shard, msg.src, 1);
+    w.held.push_back(std::move(msg));
+  }
+}
+
+bool ShardRuntime::AcquireCredit(int dst, int src) {
+  std::atomic<int>& cell = CreditCell(dst, src);
+  if (cell.fetch_sub(1, std::memory_order_acquire) > 0) {
+    return true;
+  }
+  cell.fetch_add(1, std::memory_order_relaxed);
+  credit_parks_++;
+  size_t link = static_cast<size_t>(dst) * links_ + static_cast<size_t>(src);
+  bool is_worker = src < num_workers();
+  while (!stop_.load(std::memory_order_acquire)) {
+    WakeWorker(dst);  // The consumer grants as it drains.
+    if (is_worker) {
+      HoldOwnInbox(src);
+      parked_[link].store(true, std::memory_order_release);
+      if (cell.fetch_sub(1, std::memory_order_acquire) > 0) {
+        parked_[link].store(false, std::memory_order_relaxed);
+        return true;
+      }
+      cell.fetch_add(1, std::memory_order_relaxed);
+      WakerOf(src).WaitFor(200'000);  // Granter notifies; timeout is a backstop.
+    } else {
+      if (cell.fetch_sub(1, std::memory_order_acquire) > 0) {
+        return true;
+      }
+      cell.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  }
+  return false;  // Shutdown: the message is dropped — the worker may be gone.
 }
 
 void ShardRuntime::PostMsg(int shard, ShardMsg msg) {
   Worker& w = *workers_[static_cast<size_t>(shard)];
-  while (!w.inbox->TryPush(std::move(msg))) {
-    // Bounded-ring backpressure: wake the consumer and yield until it drains.
-    // (Rings are sized above any in-flight window; see ROADMAP for credit-
-    // based flow control.)  During shutdown the message is dropped — the
-    // worker may already be gone.
-    WakeWorker(shard);
-    if (stop_.load(std::memory_order_acquire)) {
-      return;
+  msg.src = CurrentLinkIndex();
+  if (joined_) {
+    // Post-join sweep, single-threaded: bypass credits (shutdown drops may
+    // have skewed them) and drain the destination inline if its ring is full.
+    while (!w.inbox->TryPush(std::move(msg))) {
+      DrainInbox(shard);
     }
-    std::this_thread::yield();
+    return;
   }
+  if (!AcquireCredit(shard, msg.src)) {
+    return;
+  }
+  bool pushed = w.inbox->TryPush(std::move(msg));
+  // Total outstanding credits never exceed ring capacity, so a push holding a
+  // credit cannot find the ring full.
+  ENS_CHECK_MSG(pushed, "ring full despite credit (shard " << shard << ")");
   WakeWorker(shard);
 }
 
@@ -283,69 +439,464 @@ void ShardRuntime::Post(int shard, std::function<void()> task) {
 }
 
 void ShardRuntime::PostToMember(int member, std::function<void(GroupEndpoint&)> fn) {
-  GroupEndpoint* ep = members_[static_cast<size_t>(member)].get();
-  Post(ShardOf(member), [ep, fn = std::move(fn)] { fn(*ep); });
+  ShardMsg msg;
+  msg.member = member;
+  msg.member_task = std::move(fn);
+  PostMsg(ShardOf(member), std::move(msg));
 }
 
-int ShardRuntime::ShardOfId(EndpointId id) const {
+// ---- Packet routing (channel backend) --------------------------------------
+
+int ShardRuntime::MemberOfId(EndpointId id) const {
   size_t index = static_cast<size_t>(id.id) - 1;
-  return index < shard_of_id_.size() ? shard_of_id_[index] : -1;
+  return index < home_of_.size() ? static_cast<int>(index) : -1;
 }
 
-bool ShardRuntime::RoutePacket(EndpointId dst, Packet packet) {
-  int shard = ShardOfId(dst);
-  if (shard < 0) {
+bool ShardRuntime::RoutePacketFrom(int src_shard, Packet packet) {
+  int member = MemberOfId(packet.dst);
+  if (member < 0) {
     return false;
+  }
+  // Always via the HOME shard: producers need no (racy) owner lookup, and the
+  // home worker serializes forwarding across a migration — per-sender FIFO
+  // holds even while ownership moves.
+  int home = home_of_[static_cast<size_t>(member)];
+  if (home == src_shard) {
+    return HandleOrphanPacket(src_shard, packet);
   }
   ShardMsg msg;
   msg.packet = std::move(packet);
   msg.is_packet = true;
-  PostMsg(shard, std::move(msg));
+  PostMsg(home, std::move(msg));
   return true;
+}
+
+bool ShardRuntime::HandleOrphanPacket(int shard, const Packet& packet) {
+  int member = MemberOfId(packet.dst);
+  if (member < 0) {
+    return false;
+  }
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  // (1) We are the victim mid-handoff: the packet joins the backlog that
+  // travels with the adoption.
+  auto mit = w.migrations.find(member);
+  if (mit != w.migrations.end()) {
+    mit->second.backlog.push_back(packet);
+    return true;
+  }
+  // (2) We are the thief and this arrived ahead of the adoption.
+  auto pit = w.pending.find(member);
+  if (pit != w.pending.end()) {
+    pit->second.push_back(packet);
+    return true;
+  }
+  int owner = ShardOf(member);
+  if (owner == shard) {
+    if (!w.resident[static_cast<size_t>(member)]) {
+      // (3) Owner on paper but the adoption is still in our ring: queue until
+      // FinishAdopt attaches the endpoint (it drains this queue).
+      w.pending[static_cast<size_t>(member)].push_back(packet);
+      return true;
+    }
+    return false;  // Resident but detached: the member left — drop.
+  }
+  if (home_of_[static_cast<size_t>(member)] == shard) {
+    // (4) Home forwarding to the current owner.
+    ShardMsg msg;
+    msg.packet = packet;
+    msg.is_packet = true;
+    PostMsg(owner, std::move(msg));
+    return true;
+  }
+  return false;  // Stale routing (migration raced with shutdown): drop.
+}
+
+// ---- Worker loop -----------------------------------------------------------
+
+void ShardRuntime::ProcessMsg(int shard, ShardMsg msg) {
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  if (msg.is_packet) {
+    if (w.chan != nullptr) {  // UDP rings carry tasks only.
+      w.chan->DeliverFromRing(msg.packet);
+    }
+    return;
+  }
+  if (msg.member >= 0) {
+    int owner = ShardOf(msg.member);
+    if (owner != shard) {
+      PostMsg(owner, std::move(msg));  // Migrated between post and drain.
+      return;
+    }
+    if (!w.resident[static_cast<size_t>(msg.member)]) {
+      w.deferred.push_back(std::move(msg));  // Adoption still in flight.
+      return;
+    }
+    msg.member_task(*members_[static_cast<size_t>(msg.member)]);
+    return;
+  }
+  if (msg.task) {
+    msg.task();
+  }
 }
 
 size_t ShardRuntime::DrainInbox(int shard) {
   Worker& w = *workers_[static_cast<size_t>(shard)];
   size_t n = 0;
   ShardMsg msg;
-  while (w.inbox->TryPop(&msg)) {
-    if (msg.is_packet) {
-      if (w.chan != nullptr) {  // UDP rings carry tasks only.
-        w.chan->DeliverFromRing(msg.packet);
-      }
-      msg.packet = Packet{};
-    } else if (msg.task) {
-      msg.task();
-      msg.task = nullptr;
+  for (;;) {
+    // Held messages (popped while parked, credits already granted) are OLDER
+    // than anything still in the ring and must run first — and a park during
+    // ProcessMsg may append more, so re-check every iteration.
+    if (!w.held.empty()) {
+      msg = std::move(w.held.front());
+      w.held.pop_front();
+    } else if (w.inbox->TryPop(&msg)) {
+      GrantCredit(shard, msg.src, 1);
+    } else {
+      break;
     }
+    ProcessMsg(shard, std::move(msg));
     n++;
   }
   return n;
 }
 
-void ShardRuntime::WorkerLoop(int shard) {
+size_t ShardRuntime::DrainDeferred(int shard) {
   Worker& w = *workers_[static_cast<size_t>(shard)];
-  while (!stop_.load(std::memory_order_acquire)) {
-    DrainInbox(shard);
-    if (w.udp != nullptr) {
-      // Blocks in poll(2) on the shard's sockets + wakeup eventfd.
-      w.udp->PollWait(config_.poll_slice);
-    } else {
-      size_t events = w.chan->Poll();
-      if (events == 0 && w.inbox->Empty()) {
-        w.waker.WaitFor(std::min<VTime>(config_.poll_slice, w.chan->NanosUntilNextTimer()));
-      }
+  if (w.deferred.empty()) {
+    return 0;
+  }
+  size_t rounds = w.deferred.size();
+  size_t done = 0;
+  for (size_t i = 0; i < rounds; i++) {
+    ShardMsg msg = std::move(w.deferred.front());
+    w.deferred.pop_front();
+    int owner = ShardOf(msg.member);
+    if (owner == shard && !w.resident[static_cast<size_t>(msg.member)] && !joined_) {
+      w.deferred.push_back(std::move(msg));  // Adoption still in flight.
+      continue;
     }
+    if (owner != shard) {
+      PostMsg(owner, std::move(msg));
+    } else {
+      msg.member_task(*members_[static_cast<size_t>(msg.member)]);
+    }
+    done++;
+  }
+  return done;
+}
+
+void ShardRuntime::PublishLoad(int shard, size_t events, uint64_t busy_ns) {
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  uint64_t prev = w.load_ewma.load(std::memory_order_relaxed);
+  int64_t delta = static_cast<int64_t>(events * kEwmaScale) - static_cast<int64_t>(prev);
+  w.load_ewma.store(static_cast<uint64_t>(static_cast<int64_t>(prev) + delta / 8),
+                    std::memory_order_relaxed);
+  w.stats.loops++;
+  if (events > 0) {
+    w.stats.events += events;
+    w.stats.busy_ns += busy_ns;
+  }
+}
+
+void ShardRuntime::IdleBlock(int shard) {
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  if (!w.inbox->Empty() || !w.held.empty()) {
+    return;
+  }
+  if (w.udp != nullptr) {
+    w.udp->IdleWait(config_.poll_slice);
+    return;
+  }
+  w.waker.WaitFor(std::min<VTime>(config_.poll_slice, w.chan->NanosUntilNextTimer()));
+}
+
+void ShardRuntime::PinToCore(int shard) {
+#if defined(__linux__)
+  unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) {
+    return;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(shard) % cores, &set);
+  if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+    ENS_LOG(kWarn) << "pin_cores: setaffinity failed for shard " << shard;
+  }
+#else
+  ENS_LOG(kInfo) << "pin_cores: no thread affinity on this platform (no-op), shard "
+                 << shard;
+#endif
+}
+
+void ShardRuntime::WorkerLoop(int shard) {
+  tls_rt = this;
+  tls_shard = shard;
+  if (config_.pin_cores) {
+    PinToCore(shard);
+  }
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  int idle_streak = 0;
+  uint64_t last_steal_ns = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    uint64_t t0 = NowNanos();
+    size_t events = DrainDeferred(shard);
+    events += DrainInbox(shard);
+    events += w.udp != nullptr ? w.udp->Poll() : w.chan->Poll();
+    if (events > 0) {
+      PublishLoad(shard, events, NowNanos() - t0);
+      idle_streak = 0;
+      MaybeSteal(shard, idle_streak, &last_steal_ns);  // Imbalance trigger.
+      continue;
+    }
+    PublishLoad(shard, 0, 0);
+    idle_streak++;
+    MaybeSteal(shard, idle_streak, &last_steal_ns);
+    IdleBlock(shard);
   }
   // Drain-out: pending ring messages and staged traffic are processed so
   // Stop() leaves deterministic, fully-flushed state behind.
+  DrainDeferred(shard);
   DrainInbox(shard);
   if (w.udp != nullptr) {
     w.udp->Poll();
   } else {
     w.chan->Poll();
   }
+  tls_rt = nullptr;
+  tls_shard = -1;
 }
+
+// ---- Work stealing ---------------------------------------------------------
+
+void ShardRuntime::MaybeSteal(int shard, int idle_streak, uint64_t* last_attempt_ns) {
+  const StealConfig& sc = config_.steal;
+  if (!sc.enabled || num_workers() < 2) {
+    return;
+  }
+  uint64_t now = NowNanos();
+  if (now - *last_attempt_ns < sc.cooldown) {
+    return;
+  }
+  if (steal_inflight_.load(std::memory_order_acquire)) {
+    return;
+  }
+  Worker& me = *workers_[static_cast<size_t>(shard)];
+  uint64_t own = me.load_ewma.load(std::memory_order_relaxed);
+  // Two triggers: a worker that has been fully idle for idle_loops cycles
+  // takes anything above the load floor; a busy worker only moves on a
+  // sustained min_imbalance : 1 skew against it (8 hot groups next door while
+  // it runs one quiet one).
+  bool idle_trigger = idle_streak >= sc.idle_loops;
+  uint64_t threshold = sc.min_victim_load * kEwmaScale;
+  double ratio_floor = sc.min_imbalance * static_cast<double>(std::max<uint64_t>(own, 1));
+  int victim = -1;
+  uint64_t best = 0;
+  for (int s = 0; s < num_workers(); s++) {
+    if (s == shard) {
+      continue;
+    }
+    Worker& v = *workers_[static_cast<size_t>(s)];
+    if (v.resident_count.load(std::memory_order_relaxed) < 2) {
+      continue;  // Moving a lone endpoint just relocates the hotspot.
+    }
+    uint64_t score = v.load_ewma.load(std::memory_order_relaxed) +
+                     v.inbox->SizeApprox() * kEwmaScale;
+    if (score < threshold || score <= best) {
+      continue;
+    }
+    if (!idle_trigger && static_cast<double>(score) < ratio_floor) {
+      continue;
+    }
+    best = score;
+    victim = s;
+  }
+  if (victim < 0) {
+    return;
+  }
+  *last_attempt_ns = now;
+  if (steal_inflight_.exchange(true, std::memory_order_acq_rel)) {
+    return;  // Lost the race to another thief.
+  }
+  steal_requests_++;
+  int thief = shard;
+  Post(victim, [this, victim, thief] { HandleStealRequest(victim, thief); });
+}
+
+void ShardRuntime::HandleStealRequest(int victim, int thief) {
+  // Victim thread: pick the hottest GROUP fully resident here (cumulative
+  // deliveries are the cheapest heat signal we already maintain) and hand off
+  // every one of its endpoints.  Moving whole groups keeps their internal
+  // traffic shard-local after the steal — splitting a group would convert its
+  // hottest links into cross-shard ones, the opposite of load shedding.
+  Worker& w = *workers_[static_cast<size_t>(victim)];
+  int pick = -1;
+  uint64_t best = 0;
+  size_t resident_groups = 0;
+  for (size_t g = 0; g < groups_.size(); g++) {
+    bool all_here = true;
+    uint64_t heat = 1;
+    for (int m : groups_[g]) {
+      if (!w.resident[static_cast<size_t>(m)]) {
+        all_here = false;
+        break;
+      }
+      heat += delivered(m);
+    }
+    if (!all_here) {
+      continue;
+    }
+    resident_groups++;
+    if (heat > best) {
+      best = heat;
+      pick = static_cast<int>(g);
+    }
+  }
+  if (resident_groups < 2 || pick < 0) {
+    // Decline: the load signal was stale, or shedding our only whole group
+    // would just relocate the hotspot.
+    steal_inflight_.store(false, std::memory_order_release);
+    return;
+  }
+  const std::vector<int>& members = groups_[static_cast<size_t>(pick)];
+  for (size_t i = 0; i < members.size(); i++) {
+    // steal_inflight_ clears when the LAST member's adoption completes.
+    StartHandoff(victim, members[i], thief, /*from_steal=*/i + 1 == members.size());
+  }
+}
+
+void ShardRuntime::MigrateMember(int member, int to) {
+  ENS_CHECK_MSG(started_, "MigrateMember before Start()");
+  if (to < 0 || to >= num_workers() || member < 0 || member >= n()) {
+    return;
+  }
+  int owner = ShardOf(member);
+  Post(owner, [this, owner, member, to] { StartHandoff(owner, member, to, false); });
+}
+
+void ShardRuntime::StartHandoff(int shard, int member, int thief, bool from_steal) {
+  int owner = ShardOf(member);
+  if (owner != shard) {
+    // The member moved between post and drain: chase it.
+    Post(owner, [this, owner, member, thief, from_steal] {
+      StartHandoff(owner, member, thief, from_steal);
+    });
+    return;
+  }
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  if (thief == shard || !w.resident[static_cast<size_t>(member)]) {
+    if (from_steal) {
+      steal_inflight_.store(false, std::memory_order_release);
+    }
+    return;  // Already there, or a handoff for it is already in flight.
+  }
+  GroupEndpoint& ep = *members_[static_cast<size_t>(member)];
+  ep.BeginRebind();  // Flush staged traffic; invalidate timers on our heap.
+  w.resident[static_cast<size_t>(member)] = 0;
+  w.resident_count.fetch_sub(1, std::memory_order_relaxed);
+  w.stats.steals_out++;
+  EndpointId id = all_ids_[static_cast<size_t>(member)];
+
+  if (w.udp != nullptr) {
+    // The socket (with its kernel receive queue) travels with the endpoint:
+    // in-flight datagrams are neither lost nor reordered, and Release keeps
+    // the port as a peer here so our endpoints still reach it.
+    UdpNetwork::ReleasedEndpoint state = w.udp->Release(id);
+    owner_of_[static_cast<size_t>(member)].store(thief, std::memory_order_release);
+    Post(thief, [this, thief, member, state, from_steal] {
+      FinishAdopt(thief, member, {}, state, {}, from_steal);
+    });
+    return;
+  }
+
+  ChannelNetwork::ReleasedEndpoint state = w.chan->Release(id);
+  int home = home_of_[static_cast<size_t>(member)];
+  if (home == shard) {
+    // Leaving home: owner update then adopt, both sequenced through the
+    // rings.  Every later home-forward is posted by THIS thread after the
+    // adopt — per-producer ring FIFO delivers it to the thief afterwards.
+    owner_of_[static_cast<size_t>(member)].store(thief, std::memory_order_release);
+    Post(thief, [this, thief, member, state, from_steal] {
+      FinishAdopt(thief, member, state, {}, {}, from_steal);
+    });
+    return;
+  }
+  // Foreign-owner handoff: fence through the home shard.  Home redirects the
+  // owner table and bounces a marker back here; forwards home posted before
+  // the redirect reach us before the marker (FIFO per producer) and join the
+  // backlog, which travels with the adoption — so the thief sees backlog,
+  // then its own pre-adopt queue, then direct forwards: per-sender order.
+  Migration mig;
+  mig.thief = thief;
+  mig.from_steal = from_steal;
+  mig.chan = std::move(state);
+  w.migrations[member] = std::move(mig);
+  int victim = shard;
+  Post(home, [this, victim, member, thief] {
+    owner_of_[static_cast<size_t>(member)].store(thief, std::memory_order_release);
+    Post(victim, [this, victim, member] { CompleteMarker(victim, member); });
+  });
+}
+
+void ShardRuntime::CompleteMarker(int shard, int member) {
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  auto it = w.migrations.find(member);
+  ENS_CHECK_MSG(it != w.migrations.end(), "marker without migration");
+  Migration mig = std::move(it->second);
+  w.migrations.erase(it);
+  int thief = mig.thief;
+  Post(thief, [this, thief, member, chan = std::move(mig.chan),
+               backlog = std::move(mig.backlog), from_steal = mig.from_steal] {
+    FinishAdopt(thief, member, chan, {}, backlog, from_steal);
+  });
+}
+
+void ShardRuntime::FinishAdopt(int shard, int member, ChannelNetwork::ReleasedEndpoint chan,
+                               UdpNetwork::ReleasedEndpoint udp, std::deque<Packet> backlog,
+                               bool from_steal) {
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  EndpointId id = all_ids_[static_cast<size_t>(member)];
+  std::deque<Packet> swept = std::move(chan.queued);
+  if (w.udp != nullptr) {
+    w.udp->Adopt(id, std::move(udp));
+  } else {
+    w.chan->Adopt(id, std::move(chan));
+  }
+  // Rebind BEFORE replaying queued packets: a delivery may re-enter Send (the
+  // application echoes), and that send must go out through OUR backend — via
+  // the old pointer it would race the victim's thread and strand packets on a
+  // shard that no longer owns either pair member.
+  members_[static_cast<size_t>(member)]->FinishRebind(w.net);
+  if (w.chan != nullptr) {
+    // Oldest first: same-shard sends swept from the victim's local FIFO
+    // predate anything that reached the home shard during the migration,
+    // which in turn predates what raced ahead of the adoption.
+    for (const Packet& p : swept) {
+      w.chan->DeliverFromRing(p);
+    }
+    for (const Packet& p : backlog) {
+      w.chan->DeliverFromRing(p);
+    }
+    auto pit = w.pending.find(member);
+    if (pit != w.pending.end()) {
+      std::deque<Packet> q = std::move(pit->second);
+      w.pending.erase(pit);
+      for (const Packet& p : q) {
+        w.chan->DeliverFromRing(p);
+      }
+    }
+  }
+  w.resident[static_cast<size_t>(member)] = 1;
+  w.resident_count.fetch_add(1, std::memory_order_relaxed);
+  w.stats.steals_in++;
+  steals_completed_++;
+  if (from_steal) {
+    steal_inflight_.store(false, std::memory_order_release);
+  }
+  // Deferred member tasks for this member run at the next loop top.
+}
+
+// ---- Stats -----------------------------------------------------------------
 
 uint64_t ShardRuntime::total_delivered() const {
   uint64_t total = 0;
@@ -372,6 +923,32 @@ MpscRingStats ShardRuntime::AggregateRingStats() const {
     total.full_fails += s.full_fails;
   }
   return total;
+}
+
+ShardSchedStats ShardRuntime::SchedStats() const {
+  ShardSchedStats out;
+  out.steals = steals_completed_.value();
+  out.steal_requests = steal_requests_.value();
+  out.credit_parks = credit_parks_.value();
+  for (const auto& worker : workers_) {
+    const WakerStats& ws =
+        worker->udp != nullptr ? worker->udp->waker().stats() : worker->waker.stats();
+    out.wakeup_writes += ws.notifies.value();
+    out.wakeups_coalesced += ws.coalesced.value();
+  }
+  return out;
+}
+
+ShardLoad ShardRuntime::LoadOf(int shard) const {
+  const Worker& w = *workers_[static_cast<size_t>(shard)];
+  ShardLoad out;
+  out.events = w.stats.events.value();
+  out.busy_ns = w.stats.busy_ns.value();
+  out.loops = w.stats.loops.value();
+  out.resident = w.resident_count.load(std::memory_order_relaxed);
+  out.ewma = static_cast<double>(w.load_ewma.load(std::memory_order_relaxed)) /
+             static_cast<double>(kEwmaScale);
+  return out;
 }
 
 }  // namespace ensemble

@@ -12,14 +12,43 @@
 //   - bounded lock-free MPSC rings (src/util/mpsc_ring.h), one per worker,
 //     drained at the top of each worker's poll loop.  They carry harness
 //     control (start/stop/injected sends), stat requests, and — for the
-//     in-process channel backend — cross-shard packet delivery.  A full ring
-//     is backpressure: the poster spins (yielding) until the consumer drains.
+//     in-process channel backend — cross-shard packet delivery.  Ring space
+//     is governed by per-link CREDITS (below); a sender never spins on a
+//     full ring.
 //   - the kernel, for the UDP backend: every endpoint owns a real socket, and
 //     AddPeer() teaches each shard's UdpNetwork the ports of endpoints living
 //     on other shards, so cross-shard datagrams are ordinary loopback sends.
 //
 // Idle workers block in poll(2) (UDP: sockets + eventfd wakeup; channel:
-// eventfd only) instead of spinning; posting into a ring wakes the owner.
+// eventfd only) instead of spinning; posting into a ring wakes the owner
+// through a COALESCED waker: a burst of posts between two of the owner's
+// drain cycles costs one eventfd write.
+//
+// Credit-based ring flow control: each link (producer shard or the external
+// world → consumer shard) holds capacity/(workers+1) credits.  A post
+// consumes one credit; the consumer grants credits back as it pops.  Because
+// total credits never exceed ring capacity, a push holding a credit CANNOT
+// find the ring full (checked).  A sender out of credits parks on its own
+// waker instead of burning cycles; while parked, a WORKER sender keeps
+// popping its own ring into a held-message queue (popping executes nothing,
+// so protocol stacks are never re-entered) and granting credits to its own
+// producers — which is what makes two mutually-pushing workers drain each
+// other instead of deadlocking.
+//
+// Adaptive scheduling (work stealing): every worker publishes a relaxed
+// events-per-cycle EWMA plus ring-depth and busy-time accounting from its
+// poll loop.  An idle worker that observes a sustained imbalance posts a
+// steal request to the hottest shard; the victim quiesces one whole
+// GroupEndpoint (flush staged traffic, invalidate its timers via a rebind
+// epoch) and hands ownership to the thief over the ordinary rings — the
+// stack itself never sees a second thread.  For the UDP backend the
+// endpoint's socket moves with it (datagrams queued in the kernel travel
+// along, so nothing in flight is lost or reordered).  For the channel
+// backend, packets always route to the endpoint's HOME shard, which
+// forwards to the current owner; a handoff away from a foreign owner is
+// fenced with a marker bounced off the home shard, and packets that arrive
+// at the new owner early wait in a pre-adoption queue — preserving
+// per-sender FIFO across the migration.
 //
 // Lifecycle: construct → Build(n) → Start() → Post*/run → Stop().  Build and
 // Start run on the caller's thread before any worker exists; after Start(),
@@ -53,6 +82,25 @@ enum class ShardBackend {
              // used by stress tests and environments without sockets.
 };
 
+// Work-stealing policy knobs.  Default OFF so static placement (and every
+// existing test's traffic accounting) is unchanged; benches and adaptive
+// deployments opt in.
+struct StealConfig {
+  bool enabled = false;
+  // Consecutive zero-event poll cycles before a FULLY IDLE worker looks for a
+  // victim (the fast path: an empty shard adopts work quickly).
+  int idle_loops = 2;
+  // Victim's load signal (events-per-cycle EWMA + ring depth) must be at
+  // least this many events per cycle.
+  uint64_t min_victim_load = 8;
+  // A busy-but-underloaded worker also steals when some shard's load signal
+  // is at least this multiple of its own (the skewed-placement case: a worker
+  // running one quiet group next to a shard running eight hot ones).
+  double min_imbalance = 4.0;
+  // Minimum pause between two steal attempts by the same thief.
+  VTime cooldown = Millis(2);
+};
+
 struct ShardRuntimeConfig {
   ShardBackend backend = ShardBackend::kUdp;
   int num_workers = 1;
@@ -62,25 +110,58 @@ struct ShardRuntimeConfig {
   UdpBatchConfig batch;          // UDP backend batching knobs.
   size_t ring_capacity = 4096;   // Per-worker cross-shard inbox slots.
   VTime poll_slice = Millis(5);  // Max idle block per worker loop iteration.
+  StealConfig steal;             // Adaptive rebalancing (default off).
+  // Pin worker i to core i % hardware_concurrency (pthread_setaffinity_np).
+  // No-op with a log line on platforms without thread affinity.
+  bool pin_cores = false;
+  // Optional explicit member → shard assignment (overrides the round-robin
+  // group placement; entries clamped to [0, num_workers)).  The skew bench
+  // uses it to build deliberately imbalanced placements.
+  std::vector<int> initial_shard;
   // Optional application tap, called on the OWNING WORKER THREAD for every
   // delivery (after the built-in per-member counter).  Must not touch other
   // shards' state; payload slices must not outlive the callback unless
   // copied (receive buffers are pool-backed and shard-local).
   std::function<void(int member, const Event&)> on_deliver;
 };
+// The issue-tracker name for the sharding knobs; same type.
+using ShardConfig = ShardRuntimeConfig;
 
-// One message in a cross-shard ring: a control task, or (channel backend) a
-// packet being delivered to an endpoint owned by the receiving shard.
+// One message in a cross-shard ring: a control task, a member-targeted task
+// (re-routed if the member migrated between post and drain), or (channel
+// backend) a packet being delivered to an endpoint owned by the receiver.
 struct ShardMsg {
   std::function<void()> task;
+  std::function<void(GroupEndpoint&)> member_task;
   Packet packet;
+  int member = -1;    // >= 0: member_task target.
+  int src = -1;       // Producing link index (worker id, or W = external).
   bool is_packet = false;
+};
+
+// Scheduler-level observability (aggregated over shards).
+struct ShardSchedStats {
+  uint64_t steals = 0;            // Completed ownership handoffs.
+  uint64_t steal_requests = 0;    // Requests posted (incl. declined).
+  uint64_t credit_parks = 0;      // Senders that ran out of credits.
+  uint64_t wakeup_writes = 0;     // Real eventfd/pipe writes.
+  uint64_t wakeups_coalesced = 0; // Wakeups absorbed by the dirty flag.
+};
+
+// Per-shard load snapshot (relaxed reads; exact after Stop()).
+struct ShardLoad {
+  uint64_t events = 0;   // Cumulative events processed.
+  uint64_t busy_ns = 0;  // Cumulative non-idle loop time.
+  uint64_t loops = 0;    // Poll-loop iterations.
+  int resident = 0;      // Endpoints currently owned.
+  double ewma = 0;       // Events-per-cycle EWMA (the steal signal).
 };
 
 // In-process sharded backend: same-shard sends go through a local FIFO
 // drained by Poll() (never delivered re-entrantly from inside Send), and
-// cross-shard sends travel the owning shard's MPSC ring.  Timers are a
-// wall-clock min-heap, as in UdpNetwork.  Lossless and FIFO per link.
+// cross-shard sends travel the destination's HOME shard ring (which forwards
+// to the current owner after a steal).  Timers are a wall-clock min-heap, as
+// in UdpNetwork.  Lossless and FIFO per link, including across migrations.
 class ChannelNetwork : public Network {
  public:
   ChannelNetwork(ShardRuntime* rt, int shard) : rt_(rt), shard_(shard) {}
@@ -92,6 +173,20 @@ class ChannelNetwork : public Network {
   void ScheduleTimer(VTime delay, TimerFn fn) override;
   VTime Now() const override { return NowNanos(); }
   void SetDrainHook(EndpointId ep, std::function<void()> hook) override;
+
+  // Ownership handoff (owning threads only; sequencing via the rings).
+  struct ReleasedEndpoint {
+    DeliverFn deliver;
+    std::function<void()> drain_hook;
+    // Same-shard sends to `ep` still parked in local_q_ at Release() time.
+    // They predate anything routed via the home shard during the migration,
+    // so the adopter replays them first to keep per-sender FIFO.
+    std::deque<Packet> queued;
+    bool valid = false;
+  };
+  ReleasedEndpoint Release(EndpointId ep);
+  void Adopt(EndpointId ep, ReleasedEndpoint state);
+  bool Attached(EndpointId ep) const { return local_.count(ep) > 0; }
 
   // Owning-thread entry points used by the runtime's worker loop.
   void DeliverFromRing(const Packet& packet);  // Ring drain: deliver now.
@@ -139,8 +234,9 @@ class ShardRuntime {
   // its own protocol session.  Groups are distributed round-robin across
   // shards so a group's traffic stays shard-local; when there are fewer
   // groups than workers (e.g. the single all-members group), members are
-  // spread round-robin instead so every worker has work.  Returns false if a
-  // backend resource failed (no sockets).  Main thread, before Start().
+  // spread round-robin instead so every worker has work.
+  // `config.initial_shard` overrides both.  Returns false if a backend
+  // resource failed (no sockets).  Main thread, before Start().
   bool Build(int n, int group_size = 0);
 
   // Installs every group's initial view (compiling bypass routes), then
@@ -153,38 +249,81 @@ class ShardRuntime {
 
   int n() const { return static_cast<int>(members_.size()); }
   int num_workers() const { return static_cast<int>(workers_.size()); }
-  int ShardOf(int member) const { return shard_of_[static_cast<size_t>(member)]; }
+  // CURRENT owner shard of a member (follows migrations; relaxed-exact).
+  int ShardOf(int member) const {
+    return owner_of_[static_cast<size_t>(member)].load(std::memory_order_acquire);
+  }
+  // The member's home shard: where its cross-shard packets are routed first
+  // (immutable after Build; equals ShardOf until a steal moves the member).
+  int HomeOf(int member) const { return home_of_[static_cast<size_t>(member)]; }
   bool started() const { return started_; }
 
-  // Enqueues a task on shard `s`'s ring (spinning on backpressure) and wakes
-  // the worker.  The task runs on the worker thread at its next loop top.
+  // Enqueues a task on shard `s`'s ring (parking on credit exhaustion) and
+  // wakes the worker.  The task runs on the worker thread at its loop top.
   void Post(int shard, std::function<void()> task);
   // Convenience: run `fn` on `member`'s owning worker with the endpoint.
+  // Follows migrations: if the member moves between post and drain, the
+  // message is re-routed to the new owner.
   void PostToMember(int member, std::function<void(GroupEndpoint&)> fn);
+
+  // Requests migrating `member` to shard `to` (asynchronous; executes on the
+  // owning worker; no-op if already there or a handoff is in flight).  The
+  // same protocol the stealer uses — exposed for tests and benches.
+  void MigrateMember(int member, int to);
 
   // Relaxed counters, safe to read from any thread while workers run.
   uint64_t delivered(int member) const {
     return delivered_[static_cast<size_t>(member)]->load(std::memory_order_relaxed);
   }
   uint64_t total_delivered() const;
+  uint64_t steals() const { return steals_completed_.value(); }
 
   // Per-shard NetworkStats summed with NetworkStats::Add.  Exact after
   // Stop(); a live snapshot (relaxed reads) while running.
   NetworkStats AggregateNetStats() const;
   // Cross-shard ring totals (pushed / popped / full-ring backpressure hits).
   MpscRingStats AggregateRingStats() const;
+  // Scheduler counters (steals, credit parks, wakeup coalescing).
+  ShardSchedStats SchedStats() const;
+  // Per-shard load snapshot (the stealing signal, exposed for benches).
+  ShardLoad LoadOf(int shard) const;
 
   // Main thread, only before Start() or after Stop().
   GroupEndpoint& member(int i) { return *members_[static_cast<size_t>(i)]; }
 
-  // Internal (ChannelNetwork): routes a flattened packet to the shard owning
-  // `dst`, or drops it if no such endpoint exists.  Returns false on drop.
-  bool RoutePacket(EndpointId dst, Packet packet);
+  // Internal (ChannelNetwork): routes a flattened packet toward the shard
+  // owning `dst` via its home shard; `src_shard` is the calling worker.
+  // Returns false on drop (no such endpoint).
+  bool RoutePacketFrom(int src_shard, Packet packet);
+  // Internal (ChannelNetwork): a ring/local packet for an endpoint the shard
+  // no longer (or does not yet) own: stash it in a migration backlog or
+  // pre-adoption queue, or forward it toward the current owner.  Returns
+  // false only when the endpoint is unknown (caller counts the drop).
+  bool HandleOrphanPacket(int shard, const Packet& packet);
   // Internal (ChannelNetwork): every endpoint id in the runtime, in member
   // order.  Immutable after Build().
   const std::vector<EndpointId>& AllIds() const { return all_ids_; }
 
  private:
+  static constexpr uint64_t kEwmaScale = 256;  // Fixed-point EWMA unit.
+
+  struct ShardLoadStats {
+    RelaxedCounter events;
+    RelaxedCounter busy_ns;
+    RelaxedCounter loops;
+    RelaxedCounter steals_in;
+    RelaxedCounter steals_out;
+  };
+
+  // Victim-side record of a handoff awaiting its home-shard marker: the
+  // released backend state plus every packet that arrived mid-migration.
+  struct Migration {
+    int thief = -1;
+    bool from_steal = false;  // Clears steal_inflight_ when adopted.
+    ChannelNetwork::ReleasedEndpoint chan;
+    std::deque<Packet> backlog;
+  };
+
   struct Worker {
     std::unique_ptr<UdpNetwork> udp;
     std::unique_ptr<ChannelNetwork> chan;
@@ -192,23 +331,70 @@ class ShardRuntime {
     std::unique_ptr<MpscRing<ShardMsg>> inbox;
     Waker waker;  // Channel-backend sleep; UDP uses the network's own.
     std::thread thread;
+
+    // Worker-local (owning thread only after Start).
+    std::deque<ShardMsg> held;      // Popped while parked; runs next drain.
+    std::deque<ShardMsg> deferred;  // Member tasks awaiting an adoption.
+    std::map<int, Migration> migrations;           // member → in-flight handoff.
+    std::map<int, std::deque<Packet>> pending;     // member → pre-adopt packets.
+    std::vector<uint8_t> resident;                 // member → owned here?
+
+    // Published for other threads (the steal signal).
+    std::atomic<uint64_t> load_ewma{0};  // events/cycle × kEwmaScale.
+    std::atomic<int> resident_count{0};
+    ShardLoadStats stats;
   };
 
   void WorkerLoop(int shard);
+  void PinToCore(int shard);
   size_t DrainInbox(int shard);
+  size_t DrainDeferred(int shard);
+  void ProcessMsg(int shard, ShardMsg msg);
+  void PublishLoad(int shard, size_t events, uint64_t busy_ns);
+  void IdleBlock(int shard);
+  void MaybeSteal(int shard, int idle_streak, uint64_t* last_attempt_ns);
+  void HandleStealRequest(int victim, int thief);
+  // Handoff steps; the first argument names the worker each runs on (passed
+  // explicitly — the post-Stop sweep replays tasks on the main thread).
+  void StartHandoff(int shard, int member, int thief, bool from_steal);
+  void FinishAdopt(int shard, int member, ChannelNetwork::ReleasedEndpoint chan,
+                   UdpNetwork::ReleasedEndpoint udp, std::deque<Packet> backlog,
+                   bool from_steal);
+  void CompleteMarker(int shard, int member);
+
   void WakeWorker(int shard);
+  Waker& WakerOf(int shard);
   void PostMsg(int shard, ShardMsg msg);
-  int ShardOfId(EndpointId id) const;
+  bool AcquireCredit(int dst, int src);
+  void GrantCredit(int dst, int src, uint32_t count);
+  void HoldOwnInbox(int shard);
+  int CurrentLinkIndex() const;  // Calling worker's shard, or W = external.
+  int MemberOfId(EndpointId id) const;
+  std::atomic<int>& CreditCell(int dst, int src) const {
+    return credits_[static_cast<size_t>(dst) * links_ + static_cast<size_t>(src)];
+  }
 
   ShardRuntimeConfig config_;
   // Workers before members: member destructors detach from worker-owned nets.
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<GroupEndpoint>> members_;
-  std::vector<int> shard_of_;           // member index → shard.
+  std::vector<int> home_of_;            // member index → home shard (immutable).
+  std::unique_ptr<std::atomic<int>[]> owner_of_;  // member index → owner shard.
   std::vector<EndpointId> all_ids_;     // member index → id.
-  std::vector<int> shard_of_id_;        // id.id - 1 → shard (dense ids).
   std::vector<std::vector<int>> groups_;  // group → member indices.
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> delivered_;
+
+  // Credit state: links_ = num_workers + 1 (index W = external producers).
+  size_t links_ = 0;
+  int credits_per_link_ = 0;
+  std::unique_ptr<std::atomic<int>[]> credits_;   // [dst * links_ + src].
+  std::unique_ptr<std::atomic<bool>[]> parked_;   // Same indexing.
+
+  std::atomic<bool> steal_inflight_{false};  // One migration at a time.
+  RelaxedCounter steals_completed_;
+  RelaxedCounter steal_requests_;
+  RelaxedCounter credit_parks_;
+
   std::atomic<bool> stop_{false};
   bool started_ = false;
   bool joined_ = false;

@@ -106,6 +106,15 @@ class MpscRing {
     return static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0;
   }
 
+  // Racy occupancy estimate (any thread): the scheduler's run-queue-depth
+  // signal.  Exact only when producers and the consumer are quiescent; under
+  // traffic it may transiently over- or under-count by in-flight pushes.
+  size_t SizeApprox() const {
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
   size_t capacity() const { return mask_ + 1; }
   const MpscRingStats& stats() const { return stats_; }
 

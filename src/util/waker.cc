@@ -43,13 +43,28 @@ void Waker::Notify() {
   uint64_t one = 1;
   // A full pipe / saturated eventfd counter still means "pending": the owner
   // has unconsumed notifications, so a short or failed write loses nothing.
+  stats_.notifies++;
   [[maybe_unused]] ssize_t n = write(write_fd_, &one, sizeof(one));
+}
+
+void Waker::NotifyCoalesced() {
+  // acq_rel: the winning exchange orders this thread's prior writes (the ring
+  // push) before the owner's Drain-side load, matching Notify's semantics.
+  if (armed_.exchange(true, std::memory_order_acq_rel)) {
+    stats_.coalesced++;
+    return;  // A write since the owner's last Drain() is still pending.
+  }
+  Notify();
 }
 
 void Waker::Drain() {
   if (read_fd_ < 0) {
     return;
   }
+  // Disarm before consuming: a NotifyCoalesced that lands mid-drain re-arms
+  // and performs a real write, which either this read loop or the owner's
+  // next poll(2) observes — never lost.
+  armed_.store(false, std::memory_order_release);
   uint64_t buf[8];
   while (read(read_fd_, buf, sizeof(buf)) > 0) {
   }
@@ -81,7 +96,8 @@ namespace ensemble {
 Waker::Waker() = default;
 Waker::~Waker() = default;
 void Waker::Notify() {}
-void Waker::Drain() {}
+void Waker::NotifyCoalesced() {}
+void Waker::Drain() { armed_.store(false, std::memory_order_release); }
 bool Waker::WaitFor(uint64_t ns) {
   std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
   return false;

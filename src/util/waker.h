@@ -11,9 +11,17 @@
 #ifndef ENSEMBLE_SRC_UTIL_WAKER_H_
 #define ENSEMBLE_SRC_UTIL_WAKER_H_
 
+#include <atomic>
 #include <cstdint>
 
+#include "src/util/counters.h"
+
 namespace ensemble {
+
+struct WakerStats {
+  RelaxedCounter notifies;   // Real fd writes (Notify + first coalesced).
+  RelaxedCounter coalesced;  // NotifyCoalesced calls that skipped the write.
+};
 
 class Waker {
  public:
@@ -28,7 +36,15 @@ class Waker {
   // blocks makes the next wait return immediately — no lost wakeups.
   void Notify();
 
-  // Owner thread: consumes pending notifications.
+  // Thread-safe: like Notify(), but a burst of callers between two owner
+  // Drain()s costs one fd write — the first caller arms the dirty flag and
+  // pays the syscall; the rest see it armed and return.  Safe because
+  // notifications are sticky: the armed flag is only true while an unconsumed
+  // notification makes the fd readable, so skipping the write loses nothing.
+  void NotifyCoalesced();
+
+  // Owner thread: consumes pending notifications (and re-opens coalescing:
+  // the next NotifyCoalesced after Drain() performs a real write).
   void Drain();
 
   // Owner thread: blocks until notified or `ns` nanoseconds pass (millisecond
@@ -41,9 +57,14 @@ class Waker {
 
   bool ok() const { return read_fd_ >= 0; }
 
+  const WakerStats& stats() const { return stats_; }
+
  private:
   int read_fd_ = -1;
   int write_fd_ = -1;  // Same as read_fd_ for eventfd.
+  // True between the first NotifyCoalesced of a burst and the next Drain().
+  std::atomic<bool> armed_{false};
+  WakerStats stats_;
 };
 
 }  // namespace ensemble

@@ -274,6 +274,59 @@ TEST(ConnTableTest, RegisterFindUnregister) {
   EXPECT_EQ(table.Find(f.tx_route->conn_id()), nullptr);
 }
 
+TEST(ConnTableTest, GrowsPastInitialCapacityAndKeepsEveryEntry) {
+  ConnTable table;
+  size_t cap0 = table.capacity();
+  // Synthetic ids via RegisterId (the table never dereferences the routes);
+  // distinct fake pointers let Find() results be checked exactly.
+  std::vector<char> arena(300);
+  for (uint32_t i = 0; i < 300; i++) {
+    ASSERT_TRUE(table.RegisterId(i * 7 + 1, reinterpret_cast<RoutePair*>(arena.data() + i)));
+  }
+  EXPECT_EQ(table.size(), 300u);
+  EXPECT_GT(table.capacity(), cap0);  // Rehashed at least once.
+  for (uint32_t i = 0; i < 300; i++) {
+    EXPECT_EQ(table.Find(i * 7 + 1), reinterpret_cast<RoutePair*>(arena.data() + i));
+  }
+  EXPECT_EQ(table.Find(0), nullptr);
+  EXPECT_EQ(table.RegisterId(8, reinterpret_cast<RoutePair*>(arena.data() + 299)),
+            false);  // id 8 = 1*7+1, bound to a different route: collision is fatal.
+}
+
+TEST(ConnTableTest, BackwardShiftDeletionKeepsProbeChainsIntact) {
+  ConnTable table;
+  std::vector<char> arena(200);
+  // Dense sequential ids cluster under any hash at this load factor, so the
+  // deletions below exercise chains that actually wrap displaced entries.
+  for (uint32_t i = 0; i < 200; i++) {
+    ASSERT_TRUE(table.RegisterId(1000 + i, reinterpret_cast<RoutePair*>(arena.data() + i)));
+  }
+  for (uint32_t i = 0; i < 200; i += 2) {
+    table.Unregister(1000 + i);
+  }
+  EXPECT_EQ(table.size(), 100u);
+  for (uint32_t i = 0; i < 200; i++) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(table.Find(1000 + i), nullptr) << "id " << 1000 + i;
+    } else {
+      // Survivors must stay reachable: a deletion that left a hole inside a
+      // probe chain would make these lookups stop early at the gap.
+      EXPECT_EQ(table.Find(1000 + i), reinterpret_cast<RoutePair*>(arena.data() + i))
+          << "id " << 1000 + i;
+    }
+  }
+  // Deleted slots are reusable and chains re-form.
+  for (uint32_t i = 0; i < 200; i += 2) {
+    ASSERT_TRUE(table.RegisterId(1000 + i, reinterpret_cast<RoutePair*>(arena.data() + i)));
+  }
+  for (uint32_t i = 0; i < 200; i++) {
+    EXPECT_EQ(table.Find(1000 + i), reinterpret_cast<RoutePair*>(arena.data() + i));
+  }
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.Find(1001), nullptr);
+}
+
 TEST(HandTest, RequiresExactStackShape) {
   LayerParams params;
   auto wrong = BuildStack(EngineKind::kFunctional, TenLayerStack(), params, EndpointId{1});

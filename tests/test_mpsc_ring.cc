@@ -29,6 +29,30 @@ TEST(MpscRingTest, SingleProducerFifo) {
   EXPECT_TRUE(ring.Empty());
 }
 
+TEST(MpscRingTest, SizeApproxTracksOccupancy) {
+  MpscRing<int> ring(8);
+  EXPECT_EQ(ring.SizeApprox(), 0u);
+  for (int i = 0; i < 5; i++) {
+    ASSERT_TRUE(ring.TryPush(int(i)));
+    EXPECT_EQ(ring.SizeApprox(), static_cast<size_t>(i + 1));
+  }
+  int out = -1;
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(ring.TryPop(&out));
+  }
+  EXPECT_EQ(ring.SizeApprox(), 2u);
+  // Stays exact across wrap-around (head/tail keep counting past capacity).
+  for (int round = 0; round < 4; round++) {
+    for (int i = 0; i < 6; i++) {
+      ASSERT_TRUE(ring.TryPush(int(i)));
+    }
+    for (int i = 0; i < 6; i++) {
+      ASSERT_TRUE(ring.TryPop(&out));
+    }
+    EXPECT_EQ(ring.SizeApprox(), 2u);
+  }
+}
+
 TEST(MpscRingTest, CapacityRoundsUpToPowerOfTwo) {
   EXPECT_EQ(MpscRing<int>(1).capacity(), 2u);
   EXPECT_EQ(MpscRing<int>(5).capacity(), 8u);

@@ -8,8 +8,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/app/harness.h"
 #include "src/net/udp.h"
@@ -218,6 +220,291 @@ TEST(ShardRuntimeTest, UdpBackendWithBatchingAndPacking) {
   EXPECT_TRUE(done) << "delivered " << rt.total_delivered() << " of " << want;
 }
 
+// ---- Adaptive scheduler: handoff, stealing, credits ------------------------
+
+// Sequence-stamped pair traffic driven from the on_deliver tap: each member
+// sends monotonically numbered messages to its pair partner and checks that
+// what it receives is exactly 0,1,2,... — any loss or per-sender reorder
+// (e.g. across an ownership handoff) trips `in_order`.
+struct SeqTap {
+  std::atomic<uint64_t> next_tx[8]{};
+  std::atomic<uint64_t> next_rx[8]{};
+  std::atomic<bool> in_order{true};
+  std::atomic<bool> echo{true};
+};
+
+Bytes SeqPayload(uint64_t seq) {
+  Bytes b = Bytes::Allocate(16);
+  std::memset(b.MutableData(), 0, 16);
+  std::memcpy(b.MutableData(), &seq, sizeof(seq));
+  return b;
+}
+
+void WireSeqTap(ShardRuntimeConfig* config, SeqTap* tap,
+                std::vector<GroupEndpoint*>* eps) {
+  config->on_deliver = [tap, eps](int member, const Event& ev) {
+    if (ev.type != EventType::kDeliverSend) {
+      return;
+    }
+    Bytes flat = ev.payload.Flatten();
+    uint64_t seq = 0;
+    std::memcpy(&seq, flat.data(), sizeof(seq));
+    if (seq != tap->next_rx[member].fetch_add(1, std::memory_order_relaxed)) {
+      tap->in_order.store(false, std::memory_order_relaxed);
+    }
+    if (!tap->echo.load(std::memory_order_relaxed)) {
+      return;
+    }
+    Rank partner = member % 2 == 0 ? 1 : 0;
+    uint64_t out = tap->next_tx[member].fetch_add(1, std::memory_order_relaxed);
+    (*eps)[static_cast<size_t>(member)]->Send(partner, Iovec(SeqPayload(out)));
+  };
+}
+
+// Prime a pair's even member with `window` in-flight messages.
+void PrimePair(ShardRuntime* rt, SeqTap* tap, int even_member, int window) {
+  rt->PostToMember(even_member, [tap, even_member, window](GroupEndpoint& ep) {
+    for (int i = 0; i < window; i++) {
+      uint64_t seq =
+          tap->next_tx[even_member].fetch_add(1, std::memory_order_relaxed);
+      ep.Send(1, Iovec(SeqPayload(seq)));
+    }
+  });
+}
+
+// Deterministic handoff with traffic in flight, channel backend: move a pair
+// member by member (covering the split-pair cross-shard interval and, on the
+// way back, the foreign-owner marker fence), and require the sequence stream
+// to stay gapless.
+TEST(ShardRuntimeTest, MigrateMemberHandsOffWithInflightTraffic) {
+  ShardRuntimeConfig config;
+  config.backend = ShardBackend::kChannel;
+  config.num_workers = 2;
+  config.ep = FastEndpointConfig();
+  config.ep.params.pt2pt_window = 1u << 30;
+  SeqTap tap;
+  std::vector<GroupEndpoint*> eps(4, nullptr);
+  WireSeqTap(&config, &tap, &eps);
+
+  ShardRuntime rt(config);
+  ASSERT_TRUE(rt.Build(4, /*group_size=*/2));  // Pair (0,1) on shard 0.
+  ASSERT_EQ(rt.ShardOf(0), 0);
+  ASSERT_EQ(rt.ShardOf(1), 0);
+  for (int i = 0; i < 4; i++) {
+    eps[static_cast<size_t>(i)] = &rt.member(i);
+  }
+  rt.Start();
+  PrimePair(&rt, &tap, 0, 8);
+  ASSERT_TRUE(WaitUntil([&] { return rt.total_delivered() >= 100u; }, 5000));
+
+  // Away: home-shard handoffs (owner == home), one member at a time — the
+  // interval where the pair straddles shards exercises home forwarding.
+  rt.MigrateMember(0, 1);
+  rt.MigrateMember(1, 1);
+  ASSERT_TRUE(WaitUntil(
+      [&] { return rt.ShardOf(0) == 1 && rt.ShardOf(1) == 1; }, 5000));
+  uint64_t mark = rt.total_delivered();
+  ASSERT_TRUE(WaitUntil([&] { return rt.total_delivered() >= mark + 100u; }, 5000));
+
+  // Back: owner (1) != home (0) now, so these run the marker-fenced path.
+  rt.MigrateMember(0, 0);
+  rt.MigrateMember(1, 0);
+  ASSERT_TRUE(WaitUntil(
+      [&] { return rt.ShardOf(0) == 0 && rt.ShardOf(1) == 0; }, 5000));
+  mark = rt.total_delivered();
+  ASSERT_TRUE(WaitUntil([&] { return rt.total_delivered() >= mark + 100u; }, 5000));
+
+  tap.echo.store(false);
+  rt.Stop();
+  EXPECT_TRUE(tap.in_order.load()) << "per-sender FIFO broke across a handoff";
+  EXPECT_EQ(rt.SchedStats().steals, 4u);  // Four adoptions completed.
+  // Lossless: everything each member sent arrived at its partner.
+  EXPECT_EQ(tap.next_rx[1].load(), tap.next_tx[0].load());
+  EXPECT_EQ(tap.next_rx[0].load(), tap.next_tx[1].load());
+  EXPECT_EQ(rt.AggregateNetStats().dropped.value(), 0u);
+}
+
+// Same handoff over the UDP backend: the socket (and its kernel queue) must
+// travel with the endpoint, so the stream stays gapless there too.
+TEST(ShardRuntimeTest, MigrateMemberUdpSocketTravelsWithEndpoint) {
+  if (!UdpAvailable()) {
+    GTEST_SKIP() << "no UDP sockets in this environment";
+  }
+  ShardRuntimeConfig config;
+  config.backend = ShardBackend::kUdp;
+  config.num_workers = 2;
+  config.ep = FastEndpointConfig();
+  config.ep.params.pt2pt_window = 1u << 30;
+  SeqTap tap;
+  std::vector<GroupEndpoint*> eps(4, nullptr);
+  WireSeqTap(&config, &tap, &eps);
+
+  ShardRuntime rt(config);
+  ASSERT_TRUE(rt.Build(4, /*group_size=*/2));
+  for (int i = 0; i < 4; i++) {
+    eps[static_cast<size_t>(i)] = &rt.member(i);
+  }
+  rt.Start();
+  PrimePair(&rt, &tap, 0, 8);
+  ASSERT_TRUE(WaitUntil([&] { return rt.total_delivered() >= 100u; }, 5000));
+  rt.MigrateMember(0, 1);
+  rt.MigrateMember(1, 1);
+  ASSERT_TRUE(WaitUntil(
+      [&] { return rt.ShardOf(0) == 1 && rt.ShardOf(1) == 1; }, 5000));
+  uint64_t mark = rt.total_delivered();
+  ASSERT_TRUE(WaitUntil([&] { return rt.total_delivered() >= mark + 100u; }, 5000));
+  tap.echo.store(false);
+  rt.Stop();
+  EXPECT_TRUE(tap.in_order.load());
+  EXPECT_EQ(rt.SchedStats().steals, 2u);
+}
+
+// Stealing policy end to end: all four pairs start on shard 0, the idle
+// worker notices and pulls whole groups over until both shards carry load.
+TEST(ShardRuntimeTest, StealingRebalancesSkewedPlacement) {
+  ShardRuntimeConfig config;
+  config.backend = ShardBackend::kChannel;
+  config.num_workers = 2;
+  config.ep = FastEndpointConfig();
+  config.ep.params.pt2pt_window = 1u << 30;
+  config.initial_shard = std::vector<int>(8, 0);  // Everyone on shard 0.
+  config.steal.enabled = true;
+  config.steal.idle_loops = 2;
+  config.steal.min_victim_load = 2;
+  config.steal.min_imbalance = 2.0;
+  config.steal.cooldown = Millis(1);
+  SeqTap tap;
+  std::vector<GroupEndpoint*> eps(8, nullptr);
+  WireSeqTap(&config, &tap, &eps);
+
+  ShardRuntime rt(config);
+  ASSERT_TRUE(rt.Build(8, /*group_size=*/2));
+  for (int i = 0; i < 8; i++) {
+    ASSERT_EQ(rt.ShardOf(i), 0);
+    eps[static_cast<size_t>(i)] = &rt.member(i);
+  }
+  rt.Start();
+  for (int p = 0; p < 4; p++) {
+    PrimePair(&rt, &tap, 2 * p, 8);
+  }
+  // One whole-group steal = two member adoptions.
+  bool rebalanced = WaitUntil(
+      [&] { return rt.steals() >= 2 && rt.LoadOf(1).resident >= 2; }, 10000);
+  tap.echo.store(false);
+  rt.Stop();
+  EXPECT_TRUE(rebalanced) << "steals=" << rt.steals();
+  EXPECT_GE(rt.SchedStats().steal_requests, 1u);
+  EXPECT_GE(rt.LoadOf(1).resident, 2);
+  // Groups move whole: pairs still share a shard after rebalancing.
+  for (int p = 0; p < 4; p++) {
+    EXPECT_EQ(rt.ShardOf(2 * p), rt.ShardOf(2 * p + 1)) << "pair " << p;
+  }
+  EXPECT_TRUE(tap.in_order.load());
+}
+
+// The credit regression: two workers push hard at each other through small
+// rings.  Before credits this spun (or deadlocked with re-entrant drains);
+// now both must park, hold-drain their own inboxes, and finish — with zero
+// full-ring push failures, since a held credit guarantees a slot.
+TEST(ShardRuntimeTest, MutualPushBackpressureDrainsWithoutDeadlock) {
+  ShardRuntimeConfig config;
+  config.backend = ShardBackend::kChannel;
+  config.num_workers = 2;
+  config.ring_capacity = 64;  // Credits per link ~ a tenth of the burst.
+  config.ep = FastEndpointConfig();
+  config.ep.params.pt2pt_window = 1u << 30;
+  SeqTap tap;
+  tap.echo.store(false);  // One-way floods only; no amplification.
+  std::vector<GroupEndpoint*> eps(2, nullptr);
+  WireSeqTap(&config, &tap, &eps);
+
+  ShardRuntime rt(config);
+  ASSERT_TRUE(rt.Build(2));  // One pair spread across both shards.
+  ASSERT_NE(rt.ShardOf(0), rt.ShardOf(1));
+  eps[0] = &rt.member(0);
+  eps[1] = &rt.member(1);
+  rt.Start();
+  constexpr int kBurst = 400;
+  for (int m = 0; m < 2; m++) {
+    rt.PostToMember(m, [&tap, m](GroupEndpoint& ep) {
+      Rank partner = m == 0 ? 1 : 0;
+      for (int i = 0; i < kBurst; i++) {
+        uint64_t seq = tap.next_tx[m].fetch_add(1, std::memory_order_relaxed);
+        ep.Send(partner, Iovec(SeqPayload(seq)));
+      }
+    });
+  }
+  bool done = WaitUntil([&] { return rt.total_delivered() >= 2u * kBurst; }, 10000);
+  rt.Stop();
+  EXPECT_TRUE(done) << "delivered " << rt.total_delivered();
+  EXPECT_TRUE(tap.in_order.load());
+  MpscRingStats rings = rt.AggregateRingStats();
+  EXPECT_EQ(rings.full_fails.value(), 0u);  // Credits made full-ring impossible.
+  EXPECT_EQ(rings.pushed.value(), rings.popped.value());
+  EXPECT_GE(rt.SchedStats().credit_parks, 1u);  // The burst outran the quota.
+}
+
+TEST(ShardRuntimeTest, PinCoresRunsEverywhere) {
+  ShardRuntimeConfig config;
+  config.backend = ShardBackend::kChannel;
+  config.num_workers = 2;
+  config.pin_cores = true;  // Affinity on Linux; logged no-op elsewhere.
+  config.ep = FastEndpointConfig();
+
+  ShardRuntime rt(config);
+  ASSERT_TRUE(rt.Build(2));
+  rt.Start();
+  rt.PostToMember(0, [](GroupEndpoint& ep) {
+    ep.Cast(Iovec(Bytes::CopyString("pinned")));
+  });
+  bool done = WaitUntil([&] { return rt.delivered(1) >= 1u; }, 5000);
+  rt.Stop();
+  EXPECT_TRUE(done);
+}
+
+// TSan target: repeated ownership handoffs while every pair keeps traffic in
+// flight and the main thread reads live stats.  Any missing synchronization
+// in the steal/credit/wakeup paths shows up here.
+TEST(ShardRuntimeStressTest, MigrationUnderSustainedTrafficIsRaceFree) {
+  ShardRuntimeConfig config;
+  config.backend = ShardBackend::kChannel;
+  config.num_workers = 4;
+  config.ep = FastEndpointConfig();
+  config.ep.params.pt2pt_window = 1u << 30;
+  SeqTap tap;
+  std::vector<GroupEndpoint*> eps(8, nullptr);
+  WireSeqTap(&config, &tap, &eps);
+
+  ShardRuntime rt(config);
+  ASSERT_TRUE(rt.Build(8, /*group_size=*/2));  // Pair p starts on shard p.
+  for (int i = 0; i < 8; i++) {
+    eps[static_cast<size_t>(i)] = &rt.member(i);
+  }
+  rt.Start();
+  for (int p = 0; p < 4; p++) {
+    PrimePair(&rt, &tap, 2 * p, 4);
+  }
+  for (int round = 0; round < 16; round++) {
+    int pair = round % 4;
+    int to = (rt.ShardOf(2 * pair) + 1) % 4;
+    rt.MigrateMember(2 * pair, to);
+    rt.MigrateMember(2 * pair + 1, to);
+    // Live cross-thread reads while handoffs and traffic churn.
+    (void)rt.total_delivered();
+    (void)rt.SchedStats();
+    (void)rt.LoadOf(pair);
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  ASSERT_TRUE(WaitUntil([&] { return rt.total_delivered() >= 1000u; }, 20000));
+  tap.echo.store(false);
+  rt.Stop();
+  EXPECT_TRUE(tap.in_order.load()) << "loss or reorder across migrations";
+  EXPECT_GE(rt.SchedStats().steals, 1u);
+  MpscRingStats rings = rt.AggregateRingStats();
+  EXPECT_EQ(rings.pushed.value(), rings.popped.value());
+  EXPECT_EQ(rings.full_fails.value(), 0u);
+}
+
 TEST(GroupHarnessShardedTest, RunShardedCompletesAllToAllRound) {
   if (!UdpAvailable()) {
     GTEST_SKIP() << "no UDP sockets in this environment";
@@ -230,6 +517,26 @@ TEST(GroupHarnessShardedTest, RunShardedCompletesAllToAllRound) {
   EXPECT_TRUE(result.ok);
   EXPECT_EQ(result.total_delivered, 4u * 3u * 3u);
   EXPECT_GT(result.net.sent.value(), 0u);
+}
+
+TEST(GroupHarnessShardedTest, RunShardedHonorsSchedulerOptions) {
+  if (!UdpAvailable()) {
+    GTEST_SKIP() << "no UDP sockets in this environment";
+  }
+  HarnessConfig config;
+  config.n = 4;
+  config.ep = FastEndpointConfig();
+  GroupHarness harness(config);
+  GroupHarness::ShardedRunOptions options;
+  options.batch = UdpBatchConfig::Batched(8);
+  options.pin_cores = true;
+  options.initial_shard = {0, 0, 1, 1};
+  auto result = harness.RunSharded(/*num_workers=*/2, /*casts_per_member=*/3,
+                                   Seconds(10), options);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.total_delivered, 4u * 3u * 3u);
+  EXPECT_EQ(result.sched.steals, 0u);         // Stealing defaults off.
+  EXPECT_GT(result.sched.wakeup_writes, 0u);  // Posts woke sleeping workers.
 }
 
 }  // namespace
