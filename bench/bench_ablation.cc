@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/bench_common.h"
 #include "src/bypass/compiler.h"
 #include "src/marshal/generic_codec.h"
 #include "src/perf/latency_harness.h"
@@ -88,11 +89,14 @@ void PoolAblation() {
     (void)b;
   }
   th.Stop();
+  uint64_t recycled = SnapshotWith([&](obs::MetricsRegistry& r) {
+                        obs::RegisterPoolStats(r, &pool);
+                      }).Value("pool.recycled");
   std::printf("buffer allocation: pooled %.1f ns, heap %.1f ns (%.1fx); pool recycled %llu\n",
               static_cast<double>(tp.total_ns()) / kReps,
               static_cast<double>(th.total_ns()) / kReps,
               static_cast<double>(th.total_ns()) / static_cast<double>(tp.total_ns()),
-              static_cast<unsigned long long>(pool.stats().recycled));
+              static_cast<unsigned long long>(recycled));
 }
 
 void EngineAblation() {

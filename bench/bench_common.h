@@ -11,12 +11,75 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "src/net/udp.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/stats_adapters.h"
 #include "src/perf/latency_harness.h"
 
 namespace ensemble {
+
+// ---- Registry-backed emission ----------------------------------------------
+//
+// Benches no longer hand-print stats-struct fields or hand-maintain fprintf
+// JSON format strings.  A run's ad-hoc structs get wrapped in a one-off
+// registry (same adapters and names the sharded runtime registers under) and
+// rendered through the snapshot exporters; result files go through JsonWriter
+// and are validated before they hit disk.
+
+// One-off snapshot: register whatever the run produced, snapshot, done.  The
+// registered structs only need to outlive this call.
+inline obs::MetricsSnapshot SnapshotWith(
+    const std::function<void(obs::MetricsRegistry&)>& register_fn) {
+  obs::MetricsRegistry reg;
+  register_fn(reg);
+  return reg.Snapshot();
+}
+
+inline obs::MetricsSnapshot SnapshotNetworkStats(const NetworkStats& s) {
+  return SnapshotWith([&](obs::MetricsRegistry& r) { obs::RegisterNetworkStats(r, &s); });
+}
+
+// Titled human-readable block via the snapshot text exporter.
+inline void PrintMetricsBlock(const std::string& title, const obs::MetricsSnapshot& snap) {
+  std::printf("\n%s\n%s", title.c_str(), snap.Text().c_str());
+}
+
+// Validates then writes a finished JSON document.  A malformed artifact fails
+// loudly here instead of poisoning downstream parsing.
+inline bool WriteJsonFile(const std::string& path, const std::string& json) {
+  std::string error;
+  if (!obs::ValidateJson(json, &error)) {
+    std::printf("INVALID JSON for %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
+}
+
+// Kernel-UDP availability probe shared by every socket bench (prints the
+// standard skip line the CI scripts grep for).
+inline bool UdpAvailable() {
+  UdpNetwork probe;
+  probe.Attach(EndpointId{1}, [](const Packet&) {});
+  if (!probe.ok()) {
+    std::printf("(UDP sockets unavailable in this environment)\n");
+    return false;
+  }
+  return true;
+}
+
+// ---- Latency-table helpers (paper-shape comparisons) -----------------------
 
 // Best-of-N: element-wise minimum across repeated measurements — the
 // standard defence against scheduler noise on a shared core.

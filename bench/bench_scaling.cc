@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/app/endpoint.h"
 #include "src/net/udp.h"
 #include "src/runtime/runtime.h"
@@ -45,7 +46,7 @@ struct Row {
   double p50_us = 0;
   double p99_us = 0;
   double speedup = 1.0;
-  NetworkStats net;
+  obs::MetricsSnapshot net;  // net.* via the registry exporters.
 };
 
 Bytes StampedPayload() {
@@ -142,7 +143,8 @@ Row RunConfig(int workers, int pairs) {
   row.secs = static_cast<double>(t1 - t0) / 1e9;
   row.delivered = delivered1 - delivered0;
   row.msgs_per_sec = static_cast<double>(row.delivered) / row.secs;
-  row.net = rt.AggregateNetStats();
+  NetworkStats net = rt.AggregateNetStats();
+  row.net = SnapshotNetworkStats(net);
 
   std::vector<uint64_t> merged;
   for (const auto& s : samples) {
@@ -155,31 +157,29 @@ Row RunConfig(int workers, int pairs) {
 }
 
 void WriteJson(const std::vector<Row>& rows, unsigned host_cores) {
-  FILE* f = std::fopen("BENCH_scaling.json", "w");
-  if (f == nullptr) {
-    return;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("host_cores", host_cores);
+  w.KV("msg_bytes", static_cast<uint64_t>(kMsgSize));
+  w.KV("window_per_pair", kWindow);
+  w.Key("rows").BeginArray();
+  for (const Row& r : rows) {
+    w.BeginObject();
+    w.KV("workers", r.workers).KV("endpoints", r.endpoints);
+    w.KV("seconds", r.secs);
+    w.KV("delivered", r.delivered);
+    w.KV("msgs_per_sec", r.msgs_per_sec);
+    w.KV("p50_us", r.p50_us).KV("p99_us", r.p99_us);
+    w.KV("speedup_vs_1w", r.speedup);
+    w.KV("send_syscalls", r.net.Value("net.send_syscalls"));
+    w.KV("recv_syscalls", r.net.Value("net.recv_syscalls"));
+    w.Key("net");
+    r.net.AppendJson(w);
+    w.EndObject();
   }
-  std::fprintf(f, "{\n  \"host_cores\": %u,\n  \"msg_bytes\": %zu,\n"
-                  "  \"window_per_pair\": %d,\n  \"rows\": [\n",
-               host_cores, kMsgSize, kWindow);
-  for (size_t i = 0; i < rows.size(); i++) {
-    const Row& r = rows[i];
-    std::fprintf(
-        f,
-        "    {\"workers\": %d, \"endpoints\": %d, \"seconds\": %.3f,"
-        " \"delivered\": %llu, \"msgs_per_sec\": %.0f, \"p50_us\": %.1f,"
-        " \"p99_us\": %.1f, \"speedup_vs_1w\": %.2f,"
-        " \"send_syscalls\": %llu, \"recv_syscalls\": %llu}%s\n",
-        r.workers, r.endpoints, r.secs,
-        static_cast<unsigned long long>(r.delivered), r.msgs_per_sec, r.p50_us,
-        r.p99_us, r.speedup,
-        static_cast<unsigned long long>(r.net.send_syscalls),
-        static_cast<unsigned long long>(r.net.recv_syscalls),
-        i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote BENCH_scaling.json\n");
+  w.EndArray();
+  w.EndObject();
+  WriteJsonFile("BENCH_scaling.json", w.Take());
 }
 
 }  // namespace
@@ -192,13 +192,8 @@ int main() {
   std::printf("Sharded-runtime scaling over kernel UDP loopback "
               "(%zu-byte msgs, window %d/pair, host cores: %u)\n",
               kMsgSize, kWindow, host_cores);
-  {
-    UdpNetwork probe;
-    probe.Attach(EndpointId{1}, [](const Packet&) {});
-    if (!probe.ok()) {
-      std::printf("(UDP sockets unavailable in this environment)\n");
-      return 0;
-    }
+  if (!UdpAvailable()) {
+    return 0;
   }
 
   const int worker_counts[] = {1, 2, 4, 8};

@@ -12,9 +12,12 @@
 // kernel queues) until the load ratio flattens.
 //
 // Emits BENCH_skew.json with both rows, the steal count, the final per-shard
-// resident counts, and the stealing : static throughput ratio.  `--smoke`
-// shrinks the run for CI: it only checks that both configurations complete
-// and that stealing actually moved endpoints.
+// resident counts, and the stealing : static throughput ratio.  The stealing
+// run also records the shard trace rings and exports TRACE_skew.json (Chrome
+// trace-event JSON — load it in Perfetto to see the handoff/adopt lifecycle
+// bridge shards).  `--smoke` shrinks the run for CI: it checks that both
+// configurations complete, that stealing actually moved endpoints, and that
+// the trace export parses.
 
 #include <algorithm>
 #include <chrono>
@@ -24,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/app/endpoint.h"
 #include "src/net/udp.h"
 #include "src/runtime/runtime.h"
@@ -46,7 +50,12 @@ struct SkewRow {
   double p99_us = 0;
   uint64_t steals = 0;
   std::vector<int> residents;  // Final endpoints per shard.
+  // Registry delta for the run: network, scheduler, waker, pool, ring,
+  // endpoint, and bypass hit/punt metrics in one snapshot.
+  obs::MetricsSnapshot metrics;
 };
+
+constexpr const char* kTracePath = "TRACE_skew.json";
 
 Bytes StampedPayload() {
   Bytes payload = Bytes::Allocate(kMsgSize);
@@ -102,6 +111,9 @@ SkewRow RunConfig(int workers, bool stealing, double warmup_secs, double measure
   config.steal.min_victim_load = 4;
   config.steal.min_imbalance = 3.0;
   config.steal.cooldown = Millis(10);
+  // Trace the stealing run: the steal/handoff/adopt lifecycle is the whole
+  // point of this bench, and CI checks the export stays loadable.
+  config.trace_enabled = stealing;
   config.ep.mode = StackMode::kMachine;
   config.ep.layers = FourLayerStack();
   config.ep.params.local_loopback = false;
@@ -132,6 +144,7 @@ SkewRow RunConfig(int workers, bool stealing, double warmup_secs, double measure
     std::printf("(UDP sockets unavailable; skipping)\n");
     return row;
   }
+  obs::MetricsSnapshot before = rt.SnapshotMetrics();
   for (int i = 0; i < n; i++) {
     eps[static_cast<size_t>(i)] = &rt.member(i);
   }
@@ -163,6 +176,10 @@ SkewRow RunConfig(int workers, bool stealing, double warmup_secs, double measure
     row.residents.push_back(rt.LoadOf(s).resident);
   }
   rt.Stop();
+  row.metrics = rt.SnapshotMetrics().DeltaSince(before);
+  if (stealing && rt.WriteTrace(kTracePath)) {
+    std::printf("wrote %s\n", kTracePath);
+  }
 
   row.secs = static_cast<double>(t1 - t0) / 1e9;
   row.delivered = delivered1 - delivered0;
@@ -192,31 +209,34 @@ std::string ResidentsJson(const std::vector<int>& residents) {
 }
 
 void WriteJson(const std::vector<SkewRow>& rows, unsigned host_cores, double ratio) {
-  FILE* f = std::fopen("BENCH_skew.json", "w");
-  if (f == nullptr) {
-    return;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("host_cores", host_cores);
+  w.KV("msg_bytes", static_cast<uint64_t>(kMsgSize));
+  w.KV("window_per_pair", kWindow);
+  w.KV("skew", "8:1");
+  w.KV("steal_vs_static", ratio);
+  w.Key("rows").BeginArray();
+  for (const SkewRow& r : rows) {
+    w.BeginObject();
+    w.KV("stealing", r.stealing).KV("workers", r.workers).KV("endpoints", r.endpoints);
+    w.KV("seconds", r.secs);
+    w.KV("delivered", r.delivered);
+    w.KV("msgs_per_sec", r.msgs_per_sec);
+    w.KV("p50_us", r.p50_us).KV("p99_us", r.p99_us);
+    w.KV("steals", r.steals);
+    w.Key("final_residents").BeginArray();
+    for (int res : r.residents) {
+      w.Value(res);
+    }
+    w.EndArray();
+    w.Key("metrics");
+    r.metrics.AppendJson(w);
+    w.EndObject();
   }
-  std::fprintf(f,
-               "{\n  \"host_cores\": %u,\n  \"msg_bytes\": %zu,\n"
-               "  \"window_per_pair\": %d,\n  \"skew\": \"8:1\",\n"
-               "  \"steal_vs_static\": %.2f,\n  \"rows\": [\n",
-               host_cores, kMsgSize, kWindow, ratio);
-  for (size_t i = 0; i < rows.size(); i++) {
-    const SkewRow& r = rows[i];
-    std::fprintf(
-        f,
-        "    {\"stealing\": %s, \"workers\": %d, \"endpoints\": %d,"
-        " \"seconds\": %.3f, \"delivered\": %llu, \"msgs_per_sec\": %.0f,"
-        " \"p50_us\": %.1f, \"p99_us\": %.1f, \"steals\": %llu,"
-        " \"final_residents\": %s}%s\n",
-        r.stealing ? "true" : "false", r.workers, r.endpoints, r.secs,
-        static_cast<unsigned long long>(r.delivered), r.msgs_per_sec, r.p50_us,
-        r.p99_us, static_cast<unsigned long long>(r.steals),
-        ResidentsJson(r.residents).c_str(), i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote BENCH_skew.json\n");
+  w.EndArray();
+  w.EndObject();
+  WriteJsonFile("BENCH_skew.json", w.Take());
 }
 
 }  // namespace
@@ -236,13 +256,8 @@ int main(int argc, char** argv) {
   std::printf("Skewed-placement scheduling over kernel UDP loopback "
               "(%zu-byte msgs, window %d/pair, host cores: %u%s)\n",
               kMsgSize, kWindow, host_cores, smoke ? ", smoke" : "");
-  {
-    UdpNetwork probe;
-    probe.Attach(EndpointId{1}, [](const Packet&) {});
-    if (!probe.ok()) {
-      std::printf("(UDP sockets unavailable in this environment)\n");
-      return 0;
-    }
+  if (!UdpAvailable()) {
+    return 0;
   }
 
   const int workers = 4;
@@ -268,8 +283,24 @@ int main(int argc, char** argv) {
   double ratio = rows[0].msgs_per_sec > 0 ? rows[1].msgs_per_sec / rows[0].msgs_per_sec : 0;
   std::printf("\nstealing vs static: %.2fx aggregate msgs/sec (%llu steals)\n",
               ratio, static_cast<unsigned long long>(rows[1].steals));
+  PrintMetricsBlock("registry snapshot (stealing run, delta over the run):",
+                    rows[1].metrics);
   if (!smoke) {
     WriteJson(rows, host_cores, ratio);
+  }
+
+  // The stealing run exported TRACE_skew.json (only meaningful when the
+  // trace path is compiled in); make sure it stays loadable.
+  if (obs::kTraceCompiledIn) {
+    std::string error;
+    if (obs::ValidateJsonFile(kTracePath, &error)) {
+      std::printf("%s parses (Chrome trace-event JSON; open in Perfetto)\n", kTracePath);
+    } else {
+      std::printf("TRACE FAIL: %s invalid: %s\n", kTracePath, error.c_str());
+      if (smoke) {
+        return 1;
+      }
+    }
   }
   if (smoke && rows[1].steals == 0) {
     std::printf("SMOKE FAIL: stealing run moved no endpoints\n");

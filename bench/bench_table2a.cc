@@ -19,6 +19,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/perf/latency_harness.h"
 #include "src/perf/perf_counters.h"
 #include "src/stack/layer.h"
@@ -31,25 +32,24 @@ constexpr int kRounds = 10000;
 
 struct RunResult {
   std::vector<PerfCounterGroup::Reading> hw;
-  uint64_t heap_allocs = 0;
-  uint64_t bytes_copied = 0;
-  uint64_t dispatches = 0;  // Layer invocations + bypass rule steps.
+  // Registry delta over the counted run: heap.*, dispatch.*, bypass.* from
+  // the process-global singletons.
+  obs::MetricsSnapshot sw;
+  uint64_t Dispatches() const {
+    return sw.Value("dispatch.layer_invocations") + sw.Value("dispatch.bypass_rule_steps");
+  }
 };
 
 RunResult RunCounted(StackMode mode) {
   RunResult result;
   PerfCounterGroup counters;
-  const HeapBufferStats& heap = GlobalHeapBufferStats();
-  const DispatchStats& dispatch = GlobalDispatchStats();
-  uint64_t allocs0 = heap.heap_allocations;
-  uint64_t copied0 = heap.bytes_copied;
-  uint64_t disp0 = dispatch.layer_invocations + dispatch.bypass_rule_steps;
+  obs::MetricsRegistry reg;
+  obs::RegisterGlobalStats(reg);
+  obs::MetricsSnapshot before = reg.Snapshot();
   counters.Start();
   RunSendRecvRounds(mode, TenLayerStack(), kRounds);
   result.hw = counters.Stop();
-  result.heap_allocs = heap.heap_allocations - allocs0;
-  result.bytes_copied = heap.bytes_copied - copied0;
-  result.dispatches = dispatch.layer_invocations + dispatch.bypass_rule_steps - disp0;
+  result.sw = reg.Snapshot().DeltaSince(before);
   return result;
 }
 
@@ -90,27 +90,21 @@ int main() {
   }
 
   std::printf("\n%-22s %16s %16s %8s\n", "sw proxy", "original", "optimized", "ratio");
-  std::printf("%-22s %16llu %16llu %8.2f\n", "heap allocations",
-              static_cast<unsigned long long>(original.heap_allocs),
-              static_cast<unsigned long long>(optimized.heap_allocs),
-              optimized.heap_allocs > 0
-                  ? static_cast<double>(original.heap_allocs) /
-                        static_cast<double>(optimized.heap_allocs)
-                  : 0.0);
-  std::printf("%-22s %16llu %16llu %8.2f\n", "payload bytes copied",
-              static_cast<unsigned long long>(original.bytes_copied),
-              static_cast<unsigned long long>(optimized.bytes_copied),
-              optimized.bytes_copied > 0
-                  ? static_cast<double>(original.bytes_copied) /
-                        static_cast<double>(optimized.bytes_copied)
-                  : 0.0);
-  std::printf("%-22s %16llu %16llu %8.2f\n", "handler/rule dispatches",
-              static_cast<unsigned long long>(original.dispatches),
-              static_cast<unsigned long long>(optimized.dispatches),
-              optimized.dispatches > 0
-                  ? static_cast<double>(original.dispatches) /
-                        static_cast<double>(optimized.dispatches)
-                  : 0.0);
+  auto proxy_row = [&](const char* name, uint64_t orig, uint64_t opt) {
+    std::printf("%-22s %16llu %16llu %8.2f\n", name,
+                static_cast<unsigned long long>(orig),
+                static_cast<unsigned long long>(opt),
+                opt > 0 ? static_cast<double>(orig) / static_cast<double>(opt) : 0.0);
+  };
+  proxy_row("heap allocations", original.sw.Value("heap.allocations"),
+            optimized.sw.Value("heap.allocations"));
+  proxy_row("payload bytes copied", original.sw.Value("heap.bytes_copied"),
+            optimized.sw.Value("heap.bytes_copied"));
+  proxy_row("handler/rule dispatches", original.Dispatches(), optimized.Dispatches());
   std::printf("\npaper shape: optimized uses ~1.6-2.0x fewer of everything\n");
+
+  // The optimized run's full registry delta — the bypass.down_hits /
+  // bypass.punt_*.<layer> lines show where the CCP held and where it punted.
+  PrintMetricsBlock("registry delta (optimized run):", optimized.sw);
   return 0;
 }

@@ -20,8 +20,10 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/app/endpoint.h"
 #include "src/net/udp.h"
+#include "src/obs/trace.h"
 #include "src/perf/timer.h"
 #include "src/trans/transport.h"
 
@@ -41,25 +43,27 @@ struct Row {
   double secs = 0;
   double msgs_per_sec = 0;
   double syscalls_per_msg = 0;
-  NetworkStats net;
+  obs::MetricsSnapshot net;  // net.* rendered through the registry exporters.
 };
 
 void FinishRow(Row* r, const NetworkStats& stats, uint64_t ns) {
-  r->net = stats;
+  r->net = SnapshotNetworkStats(stats);
   r->secs = static_cast<double>(ns) / 1e9;
   r->msgs_per_sec = r->delivered / r->secs;
+  uint64_t syscalls = r->net.Value("net.send_syscalls") + r->net.Value("net.recv_syscalls");
   r->syscalls_per_msg =
       r->delivered == 0
           ? 0
-          : static_cast<double>(stats.send_syscalls + stats.recv_syscalls) /
-                static_cast<double>(r->delivered);
+          : static_cast<double>(syscalls) / static_cast<double>(r->delivered);
 }
 
 // ---- tier 1: raw network + transport packer --------------------------------
 
 Row RunRaw(const std::string& label, bool batch, size_t batch_size,
            size_t pack_window) {
-  Row row{"raw", label};
+  Row row;
+  row.section = "raw";
+  row.label = label;
   UdpNetwork net;
   if (batch) {
     net.set_batch_config(UdpBatchConfig::Batched(batch_size));
@@ -126,7 +130,9 @@ Row RunRaw(const std::string& label, bool batch, size_t batch_size,
 // ---- tier 2: full MACH stack over UDP --------------------------------------
 
 Row RunStack(const std::string& label, bool batched) {
-  Row row{"stack", label};
+  Row row;
+  row.section = "stack";
+  row.label = label;
   UdpNetwork net;
   if (batched) {
     net.set_batch_config(UdpBatchConfig::Batched(16));
@@ -189,59 +195,61 @@ void PrintRows(const std::vector<Row>& rows) {
   for (const Row& r : rows) {
     std::printf("%-24s %10zu %12.0f %14.3f %12llu %10llu %10llu %10llu\n",
                 r.label.c_str(), r.delivered, r.msgs_per_sec, r.syscalls_per_msg,
-                static_cast<unsigned long long>(r.net.send_syscalls),
-                static_cast<unsigned long long>(r.net.recv_syscalls),
-                static_cast<unsigned long long>(r.net.packed_datagrams),
-                static_cast<unsigned long long>(r.net.send_batches));
+                static_cast<unsigned long long>(r.net.Value("net.send_syscalls")),
+                static_cast<unsigned long long>(r.net.Value("net.recv_syscalls")),
+                static_cast<unsigned long long>(r.net.Value("net.packed_datagrams")),
+                static_cast<unsigned long long>(r.net.Value("net.send_batches")));
   }
 }
 
 void WriteJson(const std::vector<Row>& rows) {
-  FILE* f = std::fopen("BENCH_throughput.json", "w");
-  if (f == nullptr) {
-    return;
+  obs::JsonWriter w;
+  w.BeginArray();
+  for (const Row& r : rows) {
+    w.BeginObject();
+    w.KV("section", r.section).KV("config", r.label);
+    w.KV("msg_bytes", static_cast<uint64_t>(kMsgSize));
+    w.KV("sent", static_cast<uint64_t>(r.sent));
+    w.KV("delivered", static_cast<uint64_t>(r.delivered));
+    w.KV("seconds", r.secs);
+    w.KV("msgs_per_sec", r.msgs_per_sec);
+    w.KV("syscalls_per_msg", r.syscalls_per_msg);
+    w.Key("net");
+    r.net.AppendJson(w);
+    w.EndObject();
   }
-  std::fprintf(f, "[\n");
-  for (size_t i = 0; i < rows.size(); i++) {
-    const Row& r = rows[i];
-    std::fprintf(
-        f,
-        "  {\"section\": \"%s\", \"config\": \"%s\", \"msg_bytes\": %zu,"
-        " \"sent\": %zu, \"delivered\": %zu, \"seconds\": %.6f,"
-        " \"msgs_per_sec\": %.1f, \"syscalls_per_msg\": %.4f,"
-        " \"send_syscalls\": %llu, \"recv_syscalls\": %llu,"
-        " \"send_batches\": %llu, \"max_send_batch\": %llu,"
-        " \"packed_datagrams\": %llu, \"packed_submsgs\": %llu}%s\n",
-        r.section.c_str(), r.label.c_str(), kMsgSize, r.sent, r.delivered, r.secs,
-        r.msgs_per_sec, r.syscalls_per_msg,
-        static_cast<unsigned long long>(r.net.send_syscalls),
-        static_cast<unsigned long long>(r.net.recv_syscalls),
-        static_cast<unsigned long long>(r.net.send_batches),
-        static_cast<unsigned long long>(r.net.max_send_batch),
-        static_cast<unsigned long long>(r.net.packed_datagrams),
-        static_cast<unsigned long long>(r.net.packed_submsgs),
-        i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
-  std::fclose(f);
-  std::printf("\nwrote BENCH_throughput.json\n");
+  w.EndArray();
+  WriteJsonFile("BENCH_throughput.json", w.Take());
 }
 
 }  // namespace
 }  // namespace ensemble
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ensemble;
 
-  std::printf("Sustained throughput over kernel UDP loopback, %zu-byte messages\n",
-              kMsgSize);
-  {
-    UdpNetwork probe;
-    probe.Attach(EndpointId{1}, [](const Packet&) {});
-    if (!probe.ok()) {
-      std::printf("(UDP sockets unavailable in this environment)\n");
-      return 0;
+  // --trace: full tracing on this thread (the EXPERIMENTS.md overhead sweep
+  // compares the notrace build, the default run with the gate off, and this).
+  bool trace = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::string(argv[i]) == "--trace") {
+      trace = true;
     }
+  }
+  obs::TraceRing ring(1u << 15, /*shard=*/0);
+  if (trace) {
+    obs::InstallThreadTraceRing(&ring);
+    obs::SetTraceEnabled(true);
+  }
+
+  std::printf("Sustained throughput over kernel UDP loopback, %zu-byte messages"
+              " (tracing: %s)\n",
+              kMsgSize,
+              !obs::kTraceCompiledIn ? "compiled out"
+              : trace                ? "full"
+                                     : "runtime off");
+  if (!UdpAvailable()) {
+    return 0;
   }
 
   std::vector<Row> rows;

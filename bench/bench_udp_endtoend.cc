@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/bench_common.h"
 #include "src/app/endpoint.h"
 #include "src/net/udp.h"
 #include "src/perf/timer.h"
@@ -20,9 +21,9 @@ namespace {
 constexpr int kRounds = 2000;
 
 // Returns average one-way latency (ns) for a ping-pong over real UDP, or a
-// negative value when sockets are unavailable.  `net_stats` (optional)
-// receives the network's counters for the measured run.
-double MeasureUdpRoundTrip(StackMode mode, NetworkStats* net_stats = nullptr) {
+// negative value when sockets are unavailable.  `net_snap` (optional)
+// receives a registry snapshot of the network's counters for the run.
+double MeasureUdpRoundTrip(StackMode mode, obs::MetricsSnapshot* net_snap = nullptr) {
   UdpNetwork net;
   EndpointConfig config;
   config.mode = mode;
@@ -78,8 +79,8 @@ double MeasureUdpRoundTrip(StackMode mode, NetworkStats* net_stats = nullptr) {
     }
   }
   t.Stop();
-  if (net_stats != nullptr) {
-    *net_stats = net.stats();
+  if (net_snap != nullptr) {
+    *net_snap = SnapshotNetworkStats(net.stats());
   }
   // One round = two one-way messages.
   return static_cast<double>(t.total_ns()) / kRounds / 2.0;
@@ -94,7 +95,7 @@ int main() {
   std::printf("Measured end-to-end over kernel UDP loopback, 10-layer stack, %d"
               " ping-pong rounds\n",
               kRounds);
-  NetworkStats stats;
+  obs::MetricsSnapshot mach_net;
   double func = MeasureUdpRoundTrip(StackMode::kFunctional);
   if (func < 0) {
     std::printf("(UDP sockets unavailable in this environment; see bench_endtoend for the"
@@ -102,7 +103,7 @@ int main() {
     return 0;
   }
   double imp = MeasureUdpRoundTrip(StackMode::kImperative);
-  double mach = MeasureUdpRoundTrip(StackMode::kMachine, &stats);
+  double mach = MeasureUdpRoundTrip(StackMode::kMachine, &mach_net);
 
   std::printf("\n%-8s %16s\n", "mode", "one-way (ns)");
   std::printf("%-8s %16.0f\n", "FUNC", func);
@@ -116,13 +117,6 @@ int main() {
               " the protocol optimization; kernel loopback sits between those regimes)\n");
   // This bench runs the unbatched path (one syscall per datagram — latency,
   // not throughput); the counters make that visible next to bench_throughput.
-  std::printf("\nnetwork counters (MACH run): sent=%llu delivered=%llu send_syscalls=%llu"
-              " recv_syscalls=%llu packed=%llu batched=%llu\n",
-              static_cast<unsigned long long>(stats.sent),
-              static_cast<unsigned long long>(stats.delivered),
-              static_cast<unsigned long long>(stats.send_syscalls),
-              static_cast<unsigned long long>(stats.recv_syscalls),
-              static_cast<unsigned long long>(stats.packed_datagrams),
-              static_cast<unsigned long long>(stats.batched_datagrams));
+  PrintMetricsBlock("network counters (MACH run):", mach_net);
   return 0;
 }

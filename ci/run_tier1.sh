@@ -2,9 +2,12 @@
 # Tier-1 gate: configure, build, and run the full test suite.
 # This is the exact sequence CI runs; run it locally before pushing.
 #
-#   --tsan   build a separate tree with -DENSEMBLE_TSAN=ON and run the
-#            concurrency suite (MPSC ring + sharded runtime, including the
-#            multi-worker stress test) under ThreadSanitizer.
+#   --tsan     build a separate tree with -DENSEMBLE_TSAN=ON and run the
+#              concurrency suite (MPSC ring + sharded runtime + observability
+#              snapshot/trace, including the multi-worker stress test) under
+#              ThreadSanitizer.
+#   --notrace  build a separate tree with -DENSEMBLE_TRACE=OFF (ENS_TRACE
+#              compiled out entirely) and run the full suite against it.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,7 +18,15 @@ if [ "${1:-}" = "--tsan" ]; then
   cd build-tsan
   # TSAN_OPTIONS makes any reported race fail the run even if tests pass.
   TSAN_OPTIONS="halt_on_error=0 exitcode=66" \
-    ctest --output-on-failure -R 'MpscRing|ShardRuntime|GroupHarnessSharded'
+    ctest --output-on-failure -R 'MpscRing|ShardRuntime|GroupHarnessSharded|Obs'
+  exit 0
+fi
+
+if [ "${1:-}" = "--notrace" ]; then
+  cmake -B build-notrace -S . -DENSEMBLE_TRACE=OFF
+  cmake --build build-notrace -j "$(nproc 2>/dev/null || echo 4)"
+  cd build-notrace
+  ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
   exit 0
 fi
 
@@ -25,4 +36,12 @@ cd build
 ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
 # Scheduler smoke: a shrunk skew run that fails if work stealing stops
 # moving endpoints (skips itself cleanly when the env has no UDP sockets).
-./bench/bench_skew --smoke
+# With sockets available it must also emit a parseable Chrome trace export.
+rm -f TRACE_skew.json
+./bench/bench_skew --smoke > skew_smoke.out 2>&1 || { cat skew_smoke.out; exit 1; }
+cat skew_smoke.out
+if ! grep -q "unavailable" skew_smoke.out; then
+  test -s TRACE_skew.json
+  python3 -c "import json; json.load(open('TRACE_skew.json'))" \
+    && echo "TRACE_skew.json: valid JSON"
+fi

@@ -55,16 +55,18 @@ struct EndpointConfig {
 
 class GroupEndpoint {
  public:
+  // RelaxedCounter: written only by the owning shard's thread, but metrics
+  // snapshots read them live from other threads.
   struct Stats {
-    uint64_t casts = 0;
-    uint64_t sends = 0;
-    uint64_t delivered = 0;
-    uint64_t bypass_down = 0;       // Fast-path sends.
-    uint64_t bypass_down_miss = 0;  // CCP said no: normal path used.
-    uint64_t bypass_up = 0;         // Fast-path deliveries.
-    uint64_t bypass_up_fallback = 0;
-    uint64_t packets_in = 0;
-    uint64_t packed_in = 0;  // Sub-messages split out of packed datagrams.
+    RelaxedCounter casts = 0;
+    RelaxedCounter sends = 0;
+    RelaxedCounter delivered = 0;
+    RelaxedCounter bypass_down = 0;       // Fast-path sends.
+    RelaxedCounter bypass_down_miss = 0;  // CCP said no: normal path used.
+    RelaxedCounter bypass_up = 0;         // Fast-path deliveries.
+    RelaxedCounter bypass_up_fallback = 0;
+    RelaxedCounter packets_in = 0;
+    RelaxedCounter packed_in = 0;  // Sub-messages split out of packed datagrams.
   };
 
   using DeliverFn = std::function<void(const Event&)>;

@@ -147,11 +147,17 @@ GroupHarness::ShardedRunResult GroupHarness::RunSharded(int num_workers,
   rt_config.steal = options.steal;
   rt_config.pin_cores = options.pin_cores;
   rt_config.initial_shard = options.initial_shard;
+  rt_config.stats_interval = options.stats_interval;
+  rt_config.stats_sink = options.stats_sink;
+  rt_config.trace_enabled = options.trace;
 
   ShardRuntime rt(rt_config);
   if (!rt.Build(config_.n)) {
     return result;  // No sockets in this environment.
   }
+  // Delta base: global metrics (dispatch, heap, bypass) outlive runtimes, so
+  // the result reports only what THIS run contributed.
+  obs::MetricsSnapshot before = rt.SnapshotMetrics();
   rt.Start();
   for (int i = 0; i < config_.n; i++) {
     for (int c = 0; c < casts_per_member; c++) {
@@ -182,6 +188,12 @@ GroupHarness::ShardedRunResult GroupHarness::RunSharded(int num_workers,
   result.net = rt.AggregateNetStats();
   result.rings = rt.AggregateRingStats();
   result.sched = rt.SchedStats();
+  obs::MetricsSnapshot delta = rt.SnapshotMetrics().DeltaSince(before);
+  result.metrics_text = delta.Text();
+  result.metrics_json = delta.Json();
+  if (options.trace && !options.trace_path.empty()) {
+    rt.WriteTrace(options.trace_path);
+  }
   return result;
 }
 

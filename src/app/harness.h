@@ -91,6 +91,11 @@ class GroupHarness {
     NetworkStats net;             // Aggregated across all shards.
     MpscRingStats rings;          // Cross-shard ring traffic.
     ShardSchedStats sched;        // Steals, credit parks, wakeup coalescing.
+    // Full registry snapshot of the run (delta vs. before the workload),
+    // rendered once through the obs exporters: network, dispatch, scheduler,
+    // waker, pool, and bypass hit/punt metrics in one place.
+    std::string metrics_text;
+    std::string metrics_json;
   };
 
   // Runtime knobs RunSharded passes through to the ShardRuntime it builds.
@@ -99,6 +104,14 @@ class GroupHarness {
     StealConfig steal;              // Work stealing (default: off).
     bool pin_cores = false;         // Worker → core affinity.
     std::vector<int> initial_shard; // Explicit member placement (skew setups).
+    // Periodic metrics-delta emission (0 = off) and its sink (default:
+    // stderr) — forwarded to ShardRuntimeConfig.
+    VTime stats_interval = 0;
+    std::function<void(const std::string&)> stats_sink;
+    // Turn the trace rings on for the run and (when non-empty) export
+    // Chrome trace-event JSON to this path after Stop().
+    bool trace = false;
+    std::string trace_path;
   };
 
   // Sharded-runtime mode: builds a *separate* ShardRuntime (UDP backend) with

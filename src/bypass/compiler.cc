@@ -4,10 +4,16 @@
 #include <sstream>
 
 #include "src/marshal/generic_codec.h"
+#include "src/obs/trace.h"
 #include "src/util/hash.h"
 #include "src/util/logging.h"
 
 namespace ensemble {
+
+BypassPuntStats& GlobalBypassPuntStats() {
+  static BypassPuntStats stats;
+  return stats;
+}
 
 namespace {
 
@@ -156,19 +162,24 @@ size_t RoutePair::wire_header_bytes() const {
 }
 
 bool RoutePair::CheckDownCcp(const Event& ev) const {
+  return FailingDownPlan(ev) < 0;
+}
+
+int RoutePair::FailingDownPlan(const Event& ev) const {
   BypassCtx ctx;
   ctx.ev = const_cast<Event*>(&ev);
-  for (const LayerPlan& plan : plans_) {
+  for (size_t i = 0; i < plans_.size(); i++) {
+    const LayerPlan& plan = plans_[i];
     if (plan.dn->transparent || plan.dn->ccp == nullptr) {
       continue;
     }
     ctx.state = plan.state;
     if (!plan.dn->ccp(ctx)) {
-      return false;
+      return static_cast<int>(i);
     }
   }
   if (split_plan_ == SIZE_MAX) {
-    return true;
+    return -1;
   }
   // Split: the self-delivery arm's CCPs must hold too, evaluated against the
   // values the down updates are *going to* assign (predicted, no mutation).
@@ -194,18 +205,25 @@ bool RoutePair::CheckDownCcp(const Event& ev) const {
     uctx.ev = ctx.ev;
     uctx.vars_in = predicted + plan.var_base;
     if (!plan.up->ccp(uctx)) {
-      return false;
+      return static_cast<int>(i);
     }
   }
-  return true;
+  return -1;
 }
 
 bool RoutePair::DownUpdates(Event& ev, uint64_t* vars, std::vector<Event>* self_deliveries) {
-  if (!CheckDownCcp(ev)) {
+  int failing = FailingDownPlan(ev);
+  if (failing >= 0) {
     ccp_stats_.down_misses++;
+    LayerId culprit = plans_[failing].id;
+    GlobalBypassPuntStats().down_by_layer[static_cast<size_t>(culprit)]++;
+    ENS_TRACE(kBypassDownPunt, static_cast<int32_t>(my_rank_),
+              static_cast<uint64_t>(culprit), 0);
     return false;
   }
   ccp_stats_.down_hits++;
+  GlobalBypassPuntStats().down_hits++;
+  ENS_TRACE(kBypassDownHit, static_cast<int32_t>(my_rank_), plans_.size(), 0);
   GlobalDispatchStats().bypass_rule_steps += plans_.size();
   // Commit: run the fused state updates, collecting wire vars.
   BypassCtx ctx;
@@ -318,11 +336,16 @@ RoutePair::UpResult RoutePair::UpFromVars(const Bytes& datagram, size_t payload_
     ctx.vars_in = vars + plan.var_base;
     if (!plan.up->ccp(ctx)) {
       ccp_stats_.up_fallbacks++;
+      GlobalBypassPuntStats().up_by_layer[static_cast<size_t>(plan.id)]++;
+      ENS_TRACE(kBypassUpFallback, static_cast<int32_t>(my_rank_),
+                static_cast<uint64_t>(plan.id), 0);
       ReconstructEvent(vars, datagram, payload_off, origin, out);
       return UpResult::kFallback;
     }
   }
   ccp_stats_.up_hits++;
+  GlobalBypassPuntStats().up_hits++;
+  ENS_TRACE(kBypassUpHit, static_cast<int32_t>(my_rank_), plans_.size(), 0);
   // Update phase, bottom -> top.
   for (size_t i = plans_.size(); i-- > 0;) {
     const LayerPlan& plan = plans_[i];

@@ -24,6 +24,7 @@
 #include "src/bypass/rule.h"
 #include "src/marshal/header_desc.h"
 #include "src/stack/engine.h"
+#include "src/util/counters.h"
 
 namespace ensemble {
 
@@ -89,6 +90,14 @@ class RoutePair {
   // 3 µs".
   bool CheckDownCcp(const Event& ev) const;
 
+  // Like CheckDownCcp, but names the culprit: index into plans() of the
+  // first plan whose CCP rejects `ev`, or -1 when every CCP holds.  This is
+  // the punt *reason* — per-layer punt counters and trace events come from
+  // it, so an operator can see which layer's common case the workload missed.
+  int FailingDownPlan(const Event& ev) const;
+
+  const std::vector<LayerPlan>& plans() const { return plans_; }
+
   // Up fast path for a compressed datagram body (the bytes after the
   // conn-id preamble).
   UpResult TryUp(const Bytes& datagram, size_t offset, Rank origin, Event* out);
@@ -101,11 +110,12 @@ class RoutePair {
   // Run-time CCP statistics (paper §4.1: "CCPs ... are typically determined
   // from run-time statistics").  A high miss rate tells the operator the
   // declared common case is not this workload's common case.
+  // RelaxedCounter so live metrics snapshots can read while a shard runs.
   struct CcpStats {
-    uint64_t down_hits = 0;
-    uint64_t down_misses = 0;
-    uint64_t up_hits = 0;
-    uint64_t up_fallbacks = 0;
+    RelaxedCounter down_hits = 0;
+    RelaxedCounter down_misses = 0;
+    RelaxedCounter up_hits = 0;
+    RelaxedCounter up_fallbacks = 0;
     double DownHitRate() const {
       uint64_t total = down_hits + down_misses;
       return total == 0 ? 1.0 : static_cast<double>(down_hits) / static_cast<double>(total);
@@ -147,6 +157,18 @@ class RoutePair {
 // layers compose).
 std::unique_ptr<RoutePair> CompileRoutePair(ProtocolStack* stack, bool cast,
                                             std::string* error);
+
+// Process-global punt accounting keyed by the layer whose CCP failed.
+// Global rather than per-RoutePair because routes are recompiled on every
+// view change — per-route counters reset with them, while these survive and
+// give the whole run's "which layer punts" answer.  Indexed by LayerId.
+struct BypassPuntStats {
+  RelaxedCounter down_hits;
+  RelaxedCounter up_hits;
+  RelaxedCounter down_by_layer[kLayerIdCount];
+  RelaxedCounter up_by_layer[kLayerIdCount];
+};
+BypassPuntStats& GlobalBypassPuntStats();
 
 }  // namespace ensemble
 

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 
 #if defined(__linux__)
@@ -301,6 +302,8 @@ void UdpNetwork::Flush() {
   }
 }
 
+void UdpNetwork::PrewarmRecvBuffers(size_t chunks) { recv_pool_.Prewarm(chunks); }
+
 void UdpNetwork::ScheduleTimer(VTime delay, TimerFn fn) {
   timers_.push(Timer{NowNanos() + delay, timer_seq_++, std::move(fn)});
 }
@@ -315,6 +318,9 @@ size_t UdpNetwork::RunDueTimers() {
   }
   for (TimerFn& fn : due) {
     fn();
+  }
+  if (!due.empty()) {
+    ENS_TRACE(kTimerFire, -1, due.size(), 0);
   }
   return due.size();
 }
@@ -510,17 +516,20 @@ size_t UdpNetwork::PollFor(VTime duration) {
 
 namespace ensemble {
 UdpNetwork::~UdpNetwork() = default;
-void UdpNetwork::Attach(EndpointId, DeliverFn) { ok_ = false; }
+void UdpNetwork::Attach(EndpointId, DeliverFn) {
+  ok_ = false;
+  LogUnsupportedOnce("UdpNetwork::Attach");
+}
 void UdpNetwork::Detach(EndpointId) {}
 void UdpNetwork::Send(EndpointId, EndpointId, const Iovec&) {
   ok_ = false;
   stats_.dropped++;
-  ENS_LOG(kError) << "UdpNetwork::Send unsupported on this platform; datagram dropped";
+  LogUnsupportedOnce("UdpNetwork::Send");
 }
 void UdpNetwork::Broadcast(EndpointId, const Iovec&) {
   ok_ = false;
   stats_.dropped++;
-  ENS_LOG(kError) << "UdpNetwork::Broadcast unsupported on this platform; datagram dropped";
+  LogUnsupportedOnce("UdpNetwork::Broadcast");
 }
 void UdpNetwork::Flush() {}
 void UdpNetwork::AddPeer(EndpointId, uint16_t) {}
@@ -528,9 +537,10 @@ UdpNetwork::ReleasedEndpoint UdpNetwork::Release(EndpointId) { return {}; }
 void UdpNetwork::Adopt(EndpointId, ReleasedEndpoint) {}
 void UdpNetwork::IdleWait(VTime) {}
 void UdpNetwork::SetDrainHook(EndpointId, std::function<void()>) {}
+void UdpNetwork::PrewarmRecvBuffers(size_t) {}
 void UdpNetwork::ScheduleTimer(VTime, TimerFn) {
   ok_ = false;
-  ENS_LOG(kError) << "UdpNetwork::ScheduleTimer unsupported on this platform; timer lost";
+  LogUnsupportedOnce("UdpNetwork::ScheduleTimer");
 }
 size_t UdpNetwork::Poll() { return 0; }
 size_t UdpNetwork::PollFor(VTime) { return 0; }

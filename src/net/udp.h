@@ -150,6 +150,12 @@ class UdpNetwork : public Network {
   uint16_t PortOf(EndpointId ep) const;
   const NetworkStats& stats() const { return stats_; }
   const PoolStats& recv_pool_stats() const { return recv_pool_.stats(); }
+  const BufferPool& recv_pool() const { return recv_pool_; }
+
+  // First-touches `chunks` receive-pool chunks on the calling thread.  The
+  // sharded runtime calls this from each pinned worker so receive slices are
+  // NUMA-local to the shard that fills them.
+  void PrewarmRecvBuffers(size_t chunks);
 
  private:
   // One staged outgoing datagram: destination port plus the scatter-gather

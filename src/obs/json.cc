@@ -1,0 +1,382 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace ensemble {
+namespace obs {
+
+// ---- JsonWriter ------------------------------------------------------------
+
+void JsonWriter::Comma() {
+  if (need_comma_) {
+    out_ += ',';
+  }
+  need_comma_ = false;
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Comma();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  have_key_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  ENS_CHECK(!stack_.empty() && stack_.back() == Frame::kObject && !have_key_);
+  stack_.pop_back();
+  out_ += '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Comma();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  have_key_ = false;  // This array is the pending key's value.
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  ENS_CHECK(!stack_.empty() && stack_.back() == Frame::kArray);
+  stack_.pop_back();
+  out_ += ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view k) {
+  ENS_CHECK(!stack_.empty() && stack_.back() == Frame::kObject && !have_key_);
+  Comma();
+  AppendEscaped(k);
+  out_ += ':';
+  have_key_ = true;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view v) {
+  Comma();
+  AppendEscaped(v);
+  need_comma_ = true;
+  have_key_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  Comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no Inf/NaN.
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+  }
+  need_comma_ = true;
+  have_key_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  Comma();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  need_comma_ = true;
+  have_key_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  Comma();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+  need_comma_ = true;
+  have_key_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  Comma();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  have_key_ = false;
+  return *this;
+}
+
+std::string JsonWriter::Take() {
+  ENS_CHECK_MSG(stack_.empty(), "JsonWriter::Take with open containers");
+  std::string out = std::move(out_);
+  out_.clear();
+  need_comma_ = false;
+  have_key_ = false;
+  return out;
+}
+
+// ---- Validator -------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool Parse(std::string* error) {
+    SkipWs();
+    if (!ParseValue()) {
+      Fail("invalid value");
+    }
+    SkipWs();
+    if (ok_ && pos_ != text_.size()) {
+      Fail("trailing characters");
+    }
+    if (!ok_ && error != nullptr) {
+      *error = error_;
+    }
+    return ok_;
+  }
+
+ private:
+  void Fail(const char* what) {
+    if (ok_) {
+      ok_ = false;
+      error_ = std::string(what) + " at offset " + std::to_string(pos_);
+    }
+  }
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+  bool Literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (text_.substr(pos_, n) == lit) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString() {
+    if (!Eat('"')) {
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // Raw control character.
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        char e = text_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; i++) {
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+            pos_++;
+          }
+        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          return false;
+        }
+      }
+    }
+    return false;  // Unterminated.
+  }
+
+  bool ParseNumber() {
+    size_t start = pos_;
+    Eat('-');
+    if (!std::isdigit(static_cast<unsigned char>(pos_ < text_.size() ? text_[pos_] : '\0'))) {
+      pos_ = start;
+      return false;
+    }
+    // RFC 8259: no leading zeros ("01" is two tokens, i.e. invalid here).
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      return false;
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+    if (Eat('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(pos_ < text_.size() ? text_[pos_] : '\0'))) {
+        return false;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        pos_++;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      pos_++;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        pos_++;
+      }
+      if (!std::isdigit(static_cast<unsigned char>(pos_ < text_.size() ? text_[pos_] : '\0'))) {
+        return false;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        pos_++;
+      }
+    }
+    return true;
+  }
+
+  bool ParseValue() {
+    if (!ok_ || ++depth_ > kMaxDepth) {
+      Fail("nesting too deep");
+      return false;
+    }
+    SkipWs();
+    bool result;
+    if (pos_ >= text_.size()) {
+      result = false;
+    } else if (text_[pos_] == '{') {
+      result = ParseObject();
+    } else if (text_[pos_] == '[') {
+      result = ParseArray();
+    } else if (text_[pos_] == '"') {
+      result = ParseString();
+    } else if (Literal("true") || Literal("false") || Literal("null")) {
+      result = true;
+    } else {
+      result = ParseNumber();
+    }
+    depth_--;
+    return result;
+  }
+
+  bool ParseObject() {
+    Eat('{');
+    SkipWs();
+    if (Eat('}')) {
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!ParseString()) {
+        return false;
+      }
+      SkipWs();
+      if (!Eat(':')) {
+        return false;
+      }
+      if (!ParseValue()) {
+        return false;
+      }
+      SkipWs();
+      if (Eat('}')) {
+        return true;
+      }
+      if (!Eat(',')) {
+        return false;
+      }
+    }
+  }
+
+  bool ParseArray() {
+    Eat('[');
+    SkipWs();
+    if (Eat(']')) {
+      return true;
+    }
+    for (;;) {
+      if (!ParseValue()) {
+        return false;
+      }
+      SkipWs();
+      if (Eat(']')) {
+        return true;
+      }
+      if (!Eat(',')) {
+        return false;
+      }
+    }
+  }
+
+  static constexpr int kMaxDepth = 64;
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace
+
+bool ValidateJson(std::string_view text, std::string* error) {
+  return Parser(text).Parse(error);
+}
+
+bool ValidateJsonFile(const std::string& path, std::string* error) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return ValidateJson(text, error);
+}
+
+}  // namespace obs
+}  // namespace ensemble

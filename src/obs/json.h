@@ -1,0 +1,75 @@
+// Minimal JSON writer + validator shared by the observability exporters, the
+// benches' result files, and the trace golden-file checks.
+//
+// The writer is a streaming builder with correct string escaping — it
+// replaces the hand-maintained fprintf format strings that used to be
+// copy-pasted across bench/*.cc.  The validator is a strict recursive-descent
+// parser (structure only, values discarded) used by tests and by the CI
+// smoke check that the Chrome trace export stays loadable.
+
+#ifndef ENSEMBLE_SRC_OBS_JSON_H_
+#define ENSEMBLE_SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ensemble {
+namespace obs {
+
+// Streaming JSON builder.  Containers are opened/closed explicitly; commas
+// and key quoting/escaping are handled here.  Misuse (a key outside an
+// object, unbalanced End calls) is a programming error and asserts.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Key for the next value; only valid directly inside an object.
+  JsonWriter& Key(std::string_view k);
+
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(unsigned v) { return Value(static_cast<uint64_t>(v)); }
+  JsonWriter& Value(bool v);
+
+  // Key/value in one call — the common case.
+  template <typename T>
+  JsonWriter& KV(std::string_view k, T v) {
+    Key(k);
+    return Value(v);
+  }
+
+  // Finishes and returns the document (writer is reset afterwards).
+  std::string Take();
+  const std::string& str() const { return out_; }
+
+ private:
+  enum class Frame : uint8_t { kObject, kArray };
+  void Comma();
+  void AppendEscaped(std::string_view s);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool need_comma_ = false;
+  bool have_key_ = false;
+};
+
+// Strict structural validation of a complete JSON document.  Returns false
+// and fills *error (when non-null) with a position-stamped message.
+bool ValidateJson(std::string_view text, std::string* error = nullptr);
+
+// Reads and validates a file; false when unreadable or invalid.
+bool ValidateJsonFile(const std::string& path, std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_OBS_JSON_H_

@@ -1,0 +1,263 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "src/obs/json.h"
+#include "src/util/logging.h"
+
+namespace ensemble {
+namespace obs {
+
+// ---- Sample ----------------------------------------------------------------
+
+uint64_t Sample::Percentile(double q) const {
+  if (count == 0 || buckets.empty()) {
+    return 0;
+  }
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); i++) {
+    seen += buckets[i];
+    if (seen >= target) {
+      return LatencyHistogram::BucketCeil(i);
+    }
+  }
+  return LatencyHistogram::BucketCeil(buckets.size() - 1);
+}
+
+// ---- MetricsSnapshot -------------------------------------------------------
+
+const Sample* MetricsSnapshot::Find(std::string_view name) const {
+  auto it = std::lower_bound(
+      samples.begin(), samples.end(), name,
+      [](const Sample& s, std::string_view n) { return s.name < n; });
+  if (it != samples.end() && it->name == name) {
+    return &*it;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::Value(std::string_view name) const {
+  const Sample* s = Find(name);
+  return s == nullptr ? 0 : s->value;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& prev) const {
+  MetricsSnapshot out;
+  out.samples.reserve(samples.size());
+  for (const Sample& cur : samples) {
+    Sample d = cur;
+    if (cur.kind == MetricKind::kGauge) {
+      out.samples.push_back(std::move(d));
+      continue;
+    }
+    const Sample* old = prev.Find(cur.name);
+    if (old != nullptr) {
+      // Counters are monotonic; a kMax counter's delta is still reported as
+      // the plain difference of the merged high-water marks.
+      d.value = cur.value >= old->value ? cur.value - old->value : 0;
+      if (cur.kind == MetricKind::kHistogram) {
+        d.count = cur.count >= old->count ? cur.count - old->count : 0;
+        d.sum = cur.sum >= old->sum ? cur.sum - old->sum : 0;
+        for (size_t i = 0; i < d.buckets.size() && i < old->buckets.size(); i++) {
+          d.buckets[i] = cur.buckets[i] >= old->buckets[i]
+                             ? cur.buckets[i] - old->buckets[i]
+                             : 0;
+        }
+      }
+    }
+    out.samples.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::Text(bool skip_zero) const {
+  std::string out;
+  char line[256];
+  for (const Sample& s : samples) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        if (skip_zero && s.value == 0) {
+          continue;
+        }
+        std::snprintf(line, sizeof(line), "%-40s %12" PRIu64 "%s\n",
+                      s.name.c_str(), s.value,
+                      s.agg == Agg::kMax ? "  (max)" : "");
+        out += line;
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(line, sizeof(line), "%-40s %12" PRId64 "  (gauge)\n",
+                      s.name.c_str(), static_cast<int64_t>(s.value));
+        out += line;
+        break;
+      case MetricKind::kHistogram:
+        if (skip_zero && s.count == 0) {
+          continue;
+        }
+        std::snprintf(line, sizeof(line),
+                      "%-40s count=%" PRIu64 " mean=%.1f p50=%" PRIu64
+                      " p99=%" PRIu64 "\n",
+                      s.name.c_str(), s.count, s.Mean(), s.Percentile(0.5),
+                      s.Percentile(0.99));
+        out += line;
+        break;
+    }
+  }
+  return out;
+}
+
+void MetricsSnapshot::AppendJson(JsonWriter& w) const {
+  w.BeginObject();
+  for (const Sample& s : samples) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        w.KV(s.name, s.value);
+        break;
+      case MetricKind::kGauge:
+        w.KV(s.name, static_cast<int64_t>(s.value));
+        break;
+      case MetricKind::kHistogram: {
+        w.Key(s.name).BeginObject();
+        w.KV("count", s.count).KV("sum", s.sum).KV("mean", s.Mean());
+        w.KV("p50", s.Percentile(0.5)).KV("p99", s.Percentile(0.99));
+        w.Key("buckets").BeginObject();
+        for (size_t i = 0; i < s.buckets.size(); i++) {
+          if (s.buckets[i] != 0) {
+            char key[24];
+            std::snprintf(key, sizeof(key), "le_%" PRIu64,
+                          LatencyHistogram::BucketCeil(i));
+            w.KV(key, s.buckets[i]);
+          }
+        }
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+    }
+  }
+  w.EndObject();
+}
+
+std::string MetricsSnapshot::Json() const {
+  JsonWriter w;
+  AppendJson(w);
+  return w.Take();
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+void MetricsRegistry::Counter(std::string name, const RelaxedCounter* c, Agg agg) {
+  ENS_CHECK(c != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.name = std::move(name);
+  e.kind = MetricKind::kCounter;
+  e.agg = agg;
+  e.counter = c;
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::CounterFn(std::string name, ReadFn fn, Agg agg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.name = std::move(name);
+  e.kind = MetricKind::kCounter;
+  e.agg = agg;
+  e.read = std::move(fn);
+  entries_.push_back(std::move(e));
+}
+
+void MetricsRegistry::Gauge(std::string name, std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.name = std::move(name);
+  e.kind = MetricKind::kGauge;
+  e.gauge = std::move(fn);
+  entries_.push_back(std::move(e));
+}
+
+LatencyHistogram* MetricsRegistry::Histogram(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  owned_.push_back(std::make_unique<LatencyHistogram>());
+  LatencyHistogram* h = owned_.back().get();
+  Entry e;
+  e.name = std::move(name);
+  e.kind = MetricKind::kHistogram;
+  e.hist = h;
+  entries_.push_back(std::move(e));
+  return h;
+}
+
+void MetricsRegistry::HistogramSource(std::string name, const LatencyHistogram* h) {
+  ENS_CHECK(h != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.name = std::move(name);
+  e.kind = MetricKind::kHistogram;
+  e.hist = h;
+  entries_.push_back(std::move(e));
+}
+
+size_t MetricsRegistry::NumEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Merge by name.  std::map keeps the output sorted, which Find() relies on.
+  std::map<std::string, Sample> merged;
+  for (const Entry& e : entries_) {
+    auto [it, fresh] = merged.try_emplace(e.name);
+    Sample& s = it->second;
+    if (fresh) {
+      s.name = e.name;
+      s.kind = e.kind;
+      s.agg = e.agg;
+      if (e.kind == MetricKind::kHistogram) {
+        s.buckets.assign(LatencyHistogram::kBuckets, 0);
+      }
+    } else if (s.kind != e.kind) {
+      ENS_LOG(kError) << "metric '" << e.name << "' registered with mixed kinds";
+      continue;
+    }
+    s.sources++;
+    switch (e.kind) {
+      case MetricKind::kCounter: {
+        uint64_t v = e.counter != nullptr ? e.counter->value() : e.read();
+        if (s.agg == Agg::kMax) {
+          s.value = std::max(s.value, v);
+        } else {
+          s.value += v;
+        }
+        break;
+      }
+      case MetricKind::kGauge:
+        // Gauges do not merge; last registration wins (callers use distinct
+        // per-shard names, so in practice sources == 1).
+        s.value = static_cast<uint64_t>(e.gauge());
+        break;
+      case MetricKind::kHistogram:
+        s.count += e.hist->count();
+        s.sum += e.hist->sum();
+        for (size_t i = 0; i < LatencyHistogram::kBuckets; i++) {
+          s.buckets[i] += e.hist->bucket(i);
+        }
+        break;
+    }
+  }
+  MetricsSnapshot out;
+  out.samples.reserve(merged.size());
+  for (auto& [name, sample] : merged) {
+    out.samples.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ensemble

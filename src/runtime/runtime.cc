@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/obs/stats_adapters.h"
 #include "src/util/logging.h"
 
 #if defined(__linux__)
@@ -169,6 +170,9 @@ size_t ChannelNetwork::Poll() {
   for (TimerFn& fn : due) {
     fn();
   }
+  if (!due.empty()) {
+    ENS_TRACE(kTimerFire, -1, due.size(), 0);
+  }
   return n + due.size();
 }
 
@@ -196,6 +200,8 @@ ShardRuntime::ShardRuntime(ShardRuntimeConfig config) : config_(std::move(config
   for (int s = 0; s < w; s++) {
     auto worker = std::make_unique<Worker>();
     worker->inbox = std::make_unique<MpscRing<ShardMsg>>(cap);
+    worker->trace = std::make_unique<obs::TraceRing>(config_.trace_capacity,
+                                                     static_cast<uint16_t>(s));
     if (config_.backend == ShardBackend::kUdp) {
       worker->udp = std::make_unique<UdpNetwork>();
       worker->udp->set_batch_config(config_.batch);
@@ -280,7 +286,45 @@ bool ShardRuntime::Build(int n, int group_size) {
       }
     }
   }
+  RegisterMetrics();
   return true;
+}
+
+void ShardRuntime::RegisterMetrics() {
+  using namespace obs;  // NOLINT: adapter call site.
+  for (int s = 0; s < num_workers(); s++) {
+    Worker& w = *workers_[static_cast<size_t>(s)];
+    std::string shard_tag = "shard" + std::to_string(s);
+    if (w.udp != nullptr) {
+      RegisterNetworkStats(metrics_, &w.udp->stats());
+      RegisterPoolStats(metrics_, &w.udp->recv_pool(), shard_tag);
+      RegisterWakerStats(metrics_, &w.udp->waker().stats());
+    } else {
+      RegisterNetworkStats(metrics_, &w.chan->stats());
+      RegisterWakerStats(metrics_, &w.waker.stats());
+    }
+    RegisterRingStats(metrics_, &w.inbox->stats());
+    metrics_.Counter("sched.events", &w.stats.events);
+    metrics_.Counter("sched.busy_ns", &w.stats.busy_ns);
+    metrics_.Counter("sched.loops", &w.stats.loops);
+    metrics_.Counter("sched.steals_in", &w.stats.steals_in);
+    metrics_.Counter("sched.steals_out", &w.stats.steals_out);
+    // Per-shard gauges: placement and load are meaningless summed.
+    Worker* wp = &w;
+    metrics_.Gauge("sched." + shard_tag + ".resident", [wp]() {
+      return static_cast<int64_t>(wp->resident_count.load(std::memory_order_relaxed));
+    });
+    metrics_.Gauge("sched." + shard_tag + ".load_ewma_x256", [wp]() {
+      return static_cast<int64_t>(wp->load_ewma.load(std::memory_order_relaxed));
+    });
+  }
+  metrics_.Counter("sched.steals", &steals_completed_);
+  metrics_.Counter("sched.steal_requests", &steal_requests_);
+  metrics_.Counter("sched.credit_parks", &credit_parks_);
+  for (const auto& member : members_) {
+    RegisterEndpointStats(metrics_, &member->stats());
+  }
+  RegisterGlobalStats(metrics_);
 }
 
 void ShardRuntime::Start() {
@@ -299,14 +343,48 @@ void ShardRuntime::Start() {
       members_[static_cast<size_t>(member)]->Start(view);
     }
   }
+  if (config_.trace_enabled) {
+    obs::SetTraceEnabled(true);
+  }
   for (int s = 0; s < num_workers(); s++) {
     workers_[static_cast<size_t>(s)]->thread = std::thread([this, s] { WorkerLoop(s); });
+  }
+  if (config_.stats_interval > 0) {
+    snap_thread_ = std::thread([this] { SnapshotterLoop(); });
+  }
+}
+
+void ShardRuntime::SnapshotterLoop() {
+  obs::MetricsSnapshot prev = metrics_.Snapshot();
+  uint64_t seq = 0;
+  std::unique_lock<std::mutex> lock(snap_mu_);
+  while (!snap_cv_.wait_for(lock, std::chrono::nanoseconds(config_.stats_interval),
+                            [this] { return snap_stop_; })) {
+    lock.unlock();
+    obs::MetricsSnapshot cur = metrics_.Snapshot();
+    std::string text = "== metrics delta #" + std::to_string(seq++) + " ==\n" +
+                       cur.DeltaSince(prev).Text();
+    prev = std::move(cur);
+    if (config_.stats_sink) {
+      config_.stats_sink(text);
+    } else {
+      std::fwrite(text.data(), 1, text.size(), stderr);
+    }
+    lock.lock();
   }
 }
 
 void ShardRuntime::Stop() {
   if (!started_ || joined_) {
     return;
+  }
+  if (snap_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(snap_mu_);
+      snap_stop_ = true;
+    }
+    snap_cv_.notify_all();
+    snap_thread_.join();
   }
   stop_.store(true, std::memory_order_release);
   for (int s = 0; s < num_workers(); s++) {
@@ -316,6 +394,11 @@ void ShardRuntime::Stop() {
     if (worker->thread.joinable()) {
       worker->thread.join();
     }
+  }
+  if (config_.trace_enabled) {
+    // This runtime flipped the global gate on; turn it off so back-to-back
+    // runs in one process (benches sweep configs) don't trace unasked.
+    obs::SetTraceEnabled(false);
   }
   joined_ = true;
   // Post-join sweep: worker A's final drain may have pushed into worker B's
@@ -387,6 +470,7 @@ bool ShardRuntime::AcquireCredit(int dst, int src) {
   }
   cell.fetch_add(1, std::memory_order_relaxed);
   credit_parks_++;
+  ENS_TRACE(kCreditPark, -1, static_cast<uint64_t>(dst), 0);
   size_t link = static_cast<size_t>(dst) * links_ + static_cast<size_t>(src);
   bool is_worker = src < num_workers();
   while (!stop_.load(std::memory_order_acquire)) {
@@ -425,10 +509,12 @@ void ShardRuntime::PostMsg(int shard, ShardMsg msg) {
   if (!AcquireCredit(shard, msg.src)) {
     return;
   }
+  int member = msg.member;
   bool pushed = w.inbox->TryPush(std::move(msg));
   // Total outstanding credits never exceed ring capacity, so a push holding a
   // credit cannot find the ring full.
   ENS_CHECK_MSG(pushed, "ring full despite credit (shard " << shard << ")");
+  ENS_TRACE(kRingPush, member, static_cast<uint64_t>(shard), w.inbox->SizeApprox());
   WakeWorker(shard);
 }
 
@@ -558,6 +644,9 @@ size_t ShardRuntime::DrainInbox(int shard) {
     ProcessMsg(shard, std::move(msg));
     n++;
   }
+  if (n > 0) {
+    ENS_TRACE(kRingDrain, -1, n, 0);
+  }
   return n;
 }
 
@@ -624,18 +713,24 @@ void ShardRuntime::PinToCore(int shard) {
     ENS_LOG(kWarn) << "pin_cores: setaffinity failed for shard " << shard;
   }
 #else
-  ENS_LOG(kInfo) << "pin_cores: no thread affinity on this platform (no-op), shard "
-                 << shard;
+  (void)shard;
+  LogUnsupportedOnce("pin_cores (thread affinity)");
 #endif
 }
 
 void ShardRuntime::WorkerLoop(int shard) {
   tls_rt = this;
   tls_shard = shard;
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  obs::InstallThreadTraceRing(w.trace.get());
   if (config_.pin_cores) {
     PinToCore(shard);
+    if (w.udp != nullptr) {
+      // First-touch the receive pool from the pinned thread so its chunks are
+      // NUMA-local to this shard (ROADMAP: NUMA-local buffer pools).
+      w.udp->PrewarmRecvBuffers(kRecvPrewarmChunks);
+    }
   }
-  Worker& w = *workers_[static_cast<size_t>(shard)];
   int idle_streak = 0;
   uint64_t last_steal_ns = 0;
   while (!stop_.load(std::memory_order_acquire)) {
@@ -663,6 +758,7 @@ void ShardRuntime::WorkerLoop(int shard) {
   } else {
     w.chan->Poll();
   }
+  obs::InstallThreadTraceRing(nullptr);
   tls_rt = nullptr;
   tls_shard = -1;
 }
@@ -719,6 +815,7 @@ void ShardRuntime::MaybeSteal(int shard, int idle_streak, uint64_t* last_attempt
     return;  // Lost the race to another thief.
   }
   steal_requests_++;
+  ENS_TRACE(kStealRequest, -1, static_cast<uint64_t>(victim), best);
   int thief = shard;
   Post(victim, [this, victim, thief] { HandleStealRequest(victim, thief); });
 }
@@ -755,6 +852,7 @@ void ShardRuntime::HandleStealRequest(int victim, int thief) {
   if (resident_groups < 2 || pick < 0) {
     // Decline: the load signal was stale, or shedding our only whole group
     // would just relocate the hotspot.
+    ENS_TRACE(kStealDecline, -1, static_cast<uint64_t>(thief), 0);
     steal_inflight_.store(false, std::memory_order_release);
     return;
   }
@@ -790,6 +888,7 @@ void ShardRuntime::StartHandoff(int shard, int member, int thief, bool from_stea
     }
     return;  // Already there, or a handoff for it is already in flight.
   }
+  ENS_TRACE(kHandoffStart, member, static_cast<uint64_t>(thief), 0);
   GroupEndpoint& ep = *members_[static_cast<size_t>(member)];
   ep.BeginRebind();  // Flush staged traffic; invalidate timers on our heap.
   w.resident[static_cast<size_t>(member)] = 0;
@@ -845,6 +944,7 @@ void ShardRuntime::CompleteMarker(int shard, int member) {
   Migration mig = std::move(it->second);
   w.migrations.erase(it);
   int thief = mig.thief;
+  ENS_TRACE(kHandoffMarker, member, static_cast<uint64_t>(thief), mig.backlog.size());
   Post(thief, [this, thief, member, chan = std::move(mig.chan),
                backlog = std::move(mig.backlog), from_steal = mig.from_steal] {
     FinishAdopt(thief, member, chan, {}, backlog, from_steal);
@@ -890,6 +990,7 @@ void ShardRuntime::FinishAdopt(int shard, int member, ChannelNetwork::ReleasedEn
   w.resident_count.fetch_add(1, std::memory_order_relaxed);
   w.stats.steals_in++;
   steals_completed_++;
+  ENS_TRACE(kAdopt, member, static_cast<uint64_t>(shard), backlog.size());
   if (from_steal) {
     steal_inflight_.store(false, std::memory_order_release);
   }
@@ -904,6 +1005,15 @@ uint64_t ShardRuntime::total_delivered() const {
     total += c->load(std::memory_order_relaxed);
   }
   return total;
+}
+
+bool ShardRuntime::WriteTrace(const std::string& path) const {
+  std::vector<const obs::TraceRing*> rings;
+  rings.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    rings.push_back(worker->trace.get());
+  }
+  return obs::WriteChromeTrace(path, rings);
 }
 
 NetworkStats ShardRuntime::AggregateNetStats() const {

@@ -59,16 +59,20 @@
 #define ENSEMBLE_SRC_RUNTIME_RUNTIME_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "src/app/endpoint.h"
 #include "src/net/udp.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/mpsc_ring.h"
 #include "src/util/waker.h"
 
@@ -123,6 +127,16 @@ struct ShardRuntimeConfig {
   // shards' state; payload slices must not outlive the callback unless
   // copied (receive buffers are pool-backed and shard-local).
   std::function<void(int member, const Event&)> on_deliver;
+  // Periodic observability: every `stats_interval` ns a snapshotter thread
+  // renders the metrics delta since the previous tick and hands the text to
+  // `stats_sink` (default: stderr).  0 disables the thread entirely.
+  VTime stats_interval = 0;
+  std::function<void(const std::string&)> stats_sink;
+  // Per-shard trace ring size in events (rounded up to a power of two).
+  size_t trace_capacity = 8192;
+  // Flip the global trace switch on at Start().  Off keeps the hot-path cost
+  // at one predicted branch; the compile-out build removes even that.
+  bool trace_enabled = false;
 };
 // The issue-tracker name for the sharding knobs; same type.
 using ShardConfig = ShardRuntimeConfig;
@@ -288,6 +302,17 @@ class ShardRuntime {
   // Per-shard load snapshot (the stealing signal, exposed for benches).
   ShardLoad LoadOf(int shard) const;
 
+  // The unified metrics registry: every backend, ring, waker, pool, endpoint
+  // and scheduler counter is registered here during Build().  Callers may add
+  // their own entries before Start().
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  // Merged snapshot across shards (live = approximate, post-Stop = exact).
+  obs::MetricsSnapshot SnapshotMetrics() const { return metrics_.Snapshot(); }
+  // Chrome trace-event JSON of every shard's trace ring.  Meaningful content
+  // requires trace_enabled (or obs::SetTraceEnabled) during the run; exact
+  // after Stop().  False on I/O failure.
+  bool WriteTrace(const std::string& path) const;
+
   // Main thread, only before Start() or after Stop().
   GroupEndpoint& member(int i) { return *members_[static_cast<size_t>(i)]; }
 
@@ -306,6 +331,9 @@ class ShardRuntime {
 
  private:
   static constexpr uint64_t kEwmaScale = 256;  // Fixed-point EWMA unit.
+  // Receive-pool chunks first-touched per pinned worker (chunks are 64 KiB,
+  // so this faults in ~1 MiB of node-local receive buffers per shard).
+  static constexpr size_t kRecvPrewarmChunks = 16;
 
   struct ShardLoadStats {
     RelaxedCounter events;
@@ -330,6 +358,7 @@ class ShardRuntime {
     Network* net = nullptr;
     std::unique_ptr<MpscRing<ShardMsg>> inbox;
     Waker waker;  // Channel-backend sleep; UDP uses the network's own.
+    std::unique_ptr<obs::TraceRing> trace;  // This worker's event ring.
     std::thread thread;
 
     // Worker-local (owning thread only after Start).
@@ -347,6 +376,8 @@ class ShardRuntime {
 
   void WorkerLoop(int shard);
   void PinToCore(int shard);
+  void RegisterMetrics();
+  void SnapshotterLoop();
   size_t DrainInbox(int shard);
   size_t DrainDeferred(int shard);
   void ProcessMsg(int shard, ShardMsg msg);
@@ -398,6 +429,16 @@ class ShardRuntime {
   std::atomic<bool> stop_{false};
   bool started_ = false;
   bool joined_ = false;
+
+  // Observability.  The registry holds pointers into workers_/members_, both
+  // destroyed after it — declaration order here is irrelevant because the
+  // registry itself never dereferences outside Snapshot(), which callers may
+  // not invoke during destruction.
+  obs::MetricsRegistry metrics_;
+  std::thread snap_thread_;
+  std::mutex snap_mu_;
+  std::condition_variable snap_cv_;
+  bool snap_stop_ = false;
 };
 
 }  // namespace ensemble

@@ -1,5 +1,6 @@
 #include "src/stack/engine.h"
 
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 
 namespace ensemble {
@@ -65,10 +66,13 @@ void ImperativeStack::RunScheduler() {
     }
     SchedulerSink sink(this, p.layer);
     GlobalDispatchStats().layer_invocations++;
+    Layer* layer = layers_[static_cast<size_t>(p.layer)].get();
     if (p.dir == Dir::kDown) {
-      layers_[static_cast<size_t>(p.layer)]->Dn(std::move(p.ev), sink);
+      ENS_TRACE(kLayerDown, -1, static_cast<uint64_t>(layer->id()), 0);
+      layer->Dn(std::move(p.ev), sink);
     } else {
-      layers_[static_cast<size_t>(p.layer)]->Up(std::move(p.ev), sink);
+      ENS_TRACE(kLayerUp, -1, static_cast<uint64_t>(layer->id()), 0);
+      layer->Up(std::move(p.ev), sink);
     }
   }
   running_ = false;
@@ -125,6 +129,7 @@ void FunctionalStack::DnAt(size_t i, Event ev, EventLists& result) {
   }
   CollectorSink sink;
   GlobalDispatchStats().layer_invocations++;
+  ENS_TRACE(kLayerDown, -1, static_cast<uint64_t>(layers_[i]->id()), 0);
   layers_[i]->Dn(std::move(ev), sink);
   for (Event& up : sink.up) {
     if (i == 0) {
@@ -150,6 +155,7 @@ void FunctionalStack::UpAt(size_t i, Event ev, EventLists& result) {
   EventLists out;
   CollectorSink sink;
   GlobalDispatchStats().layer_invocations++;
+  ENS_TRACE(kLayerUp, -1, static_cast<uint64_t>(layers_[i]->id()), 0);
   layers_[i]->Up(std::move(ev), sink);
   for (Event& dn : sink.dn) {
     EventLists sub;

@@ -1,6 +1,8 @@
 #include "src/util/logging.h"
 
 #include <cstring>
+#include <mutex>
+#include <set>
 
 namespace ensemble {
 
@@ -35,6 +37,19 @@ const char* LevelName(LogLevel level) {
 void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line,
                msg.c_str());
+}
+
+void LogUnsupportedOnce(const char* what) {
+  static std::mutex mu;
+  static std::set<std::string> seen;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!seen.insert(what).second) {
+      return;
+    }
+  }
+  LogMessage(LogLevel::kError, "platform", 0,
+             std::string(what) + " unavailable on this platform");
 }
 
 void FatalCheckFailure(const char* file, int line, const char* expr, const std::string& msg) {

@@ -41,6 +41,12 @@ class LogLine {
 [[noreturn]] void FatalCheckFailure(const char* file, int line, const char* expr,
                                     const std::string& msg);
 
+// One kError line per distinct `what` for the process lifetime.  Every
+// stubbed platform path (non-POSIX UDP, waker, core pinning) reports through
+// this so "feature unavailable on this platform" surfaces exactly once
+// instead of silently or per-call.
+void LogUnsupportedOnce(const char* what);
+
 }  // namespace ensemble
 
 #define ENS_LOG(level)                                                  \

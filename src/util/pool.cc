@@ -1,8 +1,30 @@
 #include "src/util/pool.h"
 
+#include <cstring>
 #include <new>
 
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 namespace ensemble {
+
+namespace {
+// Node the calling thread currently runs on; -1 when unavailable.  getcpu(2)
+// via raw syscall so we don't need libnuma or a glibc new enough for the
+// wrapper.
+int CurrentNumaNode() {
+#if defined(__linux__) && defined(SYS_getcpu)
+  unsigned cpu = 0;
+  unsigned node = 0;
+  if (syscall(SYS_getcpu, &cpu, &node, nullptr) == 0) {
+    return static_cast<int>(node);
+  }
+#endif
+  return -1;
+}
+}  // namespace
 
 HeapBufferStats& GlobalHeapBufferStats() {
   static HeapBufferStats stats;
@@ -52,6 +74,20 @@ Bytes BufferPool::Allocate(size_t len) {
 void BufferPool::Recycle(BufferChunk* chunk) {
   stats_.returned++;
   free_.push_back(chunk);
+}
+
+void BufferPool::Prewarm(size_t chunks) {
+  free_.reserve(free_.size() + chunks);
+  for (size_t i = 0; i < chunks; i++) {
+    BufferChunk* chunk = NewChunk();
+    // First-touch: fault every page in from this thread so the kernel places
+    // it on the caller's node, not wherever the setup thread ran.
+    std::memset(chunk->data(), 0, chunk_size_);
+    chunk->refs.store(0, std::memory_order_relaxed);
+    free_.push_back(chunk);
+    stats_.prewarmed++;
+  }
+  numa_node_ = CurrentNumaNode();
 }
 
 }  // namespace ensemble

@@ -18,11 +18,14 @@
 
 namespace ensemble {
 
+// RelaxedCounter fields: the pool itself is single-threaded, but live
+// metrics snapshots read these from other threads.
 struct PoolStats {
-  uint64_t allocations = 0;   // Chunks handed out.
-  uint64_t fresh_chunks = 0;  // Chunks that had to come from the heap.
-  uint64_t recycled = 0;      // Chunks served from the freelist.
-  uint64_t returned = 0;      // Chunks released back to the pool.
+  RelaxedCounter allocations = 0;   // Chunks handed out.
+  RelaxedCounter fresh_chunks = 0;  // Chunks that had to come from the heap.
+  RelaxedCounter recycled = 0;      // Chunks served from the freelist.
+  RelaxedCounter returned = 0;      // Chunks released back to the pool.
+  RelaxedCounter prewarmed = 0;     // Chunks pre-faulted by Prewarm().
 };
 
 // Fixed-size-class chunk pool.  Not thread-safe: Ensemble stacks are
@@ -50,6 +53,16 @@ class BufferPool {
   // Internal: called by Bytes release when the last ref drops.
   void Recycle(BufferChunk* chunk);
 
+  // Allocates and first-touches `chunks` freelist entries on the calling
+  // thread.  Under first-touch NUMA policy (Linux default), calling this from
+  // a core-pinned shard worker places the pool's memory on that worker's
+  // node.  Also records the caller's NUMA node for numa_node().
+  void Prewarm(size_t chunks);
+
+  // NUMA node the pool was prewarmed on; -1 when never prewarmed or the
+  // platform can't report it.
+  int numa_node() const { return numa_node_; }
+
   static constexpr size_t kDefaultChunkSize = 4096;
 
  private:
@@ -58,6 +71,7 @@ class BufferPool {
   size_t chunk_size_;
   std::vector<BufferChunk*> free_;
   PoolStats stats_;
+  int numa_node_ = -1;
 };
 
 // Process-wide counters for plain heap chunk traffic, so benches can report

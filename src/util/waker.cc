@@ -91,9 +91,11 @@ bool Waker::WaitFor(uint64_t ns) {
 #include <chrono>
 #include <thread>
 
+#include "src/util/logging.h"
+
 namespace ensemble {
 
-Waker::Waker() = default;
+Waker::Waker() { LogUnsupportedOnce("Waker (fd-based wakeup)"); }
 Waker::~Waker() = default;
 void Waker::Notify() {}
 void Waker::NotifyCoalesced() {}

@@ -1,0 +1,339 @@
+// Observability subsystem: JSON writer/validator, metrics registry merge and
+// delta semantics, trace-ring wraparound, and the Chrome trace export golden
+// check.  The concurrent-writer tests also run in the TSan CI leg (the ctest
+// regex matches "Obs").
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/counters.h"
+
+namespace ensemble {
+namespace obs {
+namespace {
+
+// ---- JSON writer + validator -----------------------------------------------
+
+TEST(ObsJson, WriterBuildsNestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("name", "a \"quoted\"\nvalue");
+  w.KV("count", uint64_t{42});
+  w.KV("ratio", 1.5);
+  w.KV("neg", int64_t{-7});
+  w.KV("flag", true);
+  w.Key("list").BeginArray();
+  w.Value(1).Value(2).Value(3);
+  w.EndArray();
+  w.Key("empty").BeginObject().EndObject();
+  w.Key("empty_list").BeginArray().EndArray();
+  w.EndObject();
+  std::string doc = w.Take();
+
+  std::string error;
+  EXPECT_TRUE(ValidateJson(doc, &error)) << error << "\n" << doc;
+  EXPECT_NE(doc.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(doc.find("\\n"), std::string::npos);
+  EXPECT_NE(doc.find("\"list\":[1,2,3]"), std::string::npos);
+}
+
+TEST(ObsJson, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(ValidateJson("{}"));
+  EXPECT_TRUE(ValidateJson("[]"));
+  EXPECT_TRUE(ValidateJson("  {\"a\": [1, -2.5e3, true, false, null, \"s\"]} "));
+  EXPECT_TRUE(ValidateJson("\"bare string\""));
+  EXPECT_TRUE(ValidateJson("42"));
+
+  std::string error;
+  EXPECT_FALSE(ValidateJson("", &error));
+  EXPECT_FALSE(ValidateJson("{", &error));
+  EXPECT_FALSE(ValidateJson("{\"a\":}", &error));
+  EXPECT_FALSE(ValidateJson("[1,]", &error));
+  EXPECT_FALSE(ValidateJson("{\"a\":1} trailing", &error));
+  EXPECT_FALSE(ValidateJson("{'single': 1}", &error));
+  EXPECT_FALSE(ValidateJson("[1, 01]", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ObsJson, ValidatorBoundsDepth) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ValidateJson(deep));
+  std::string ok(32, '[');
+  ok += std::string(32, ']');
+  EXPECT_TRUE(ValidateJson(ok));
+}
+
+// ---- Metrics registry ------------------------------------------------------
+
+TEST(ObsMetrics, MergesCountersAcrossSources) {
+  RelaxedCounter a, b, hw1, hw2;
+  a += 10;
+  b += 32;
+  hw1 = 5;
+  hw2 = 9;
+  MetricsRegistry reg;
+  reg.Counter("x.total", &a);
+  reg.Counter("x.total", &b);  // Second shard, same name: sums.
+  reg.Counter("x.high_water", &hw1, Agg::kMax);
+  reg.Counter("x.high_water", &hw2, Agg::kMax);
+  reg.CounterFn("x.fn", [] { return uint64_t{7}; });
+  reg.Gauge("x.shard0.g", [] { return int64_t{-3}; });
+
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.Value("x.total"), 42u);
+  EXPECT_EQ(snap.Find("x.total")->sources, 2);
+  EXPECT_EQ(snap.Value("x.high_water"), 9u);
+  EXPECT_EQ(snap.Value("x.fn"), 7u);
+  EXPECT_EQ(static_cast<int64_t>(snap.Value("x.shard0.g")), -3);
+  EXPECT_EQ(snap.Value("x.absent"), 0u);
+  // Sorted by name.
+  for (size_t i = 1; i < snap.samples.size(); i++) {
+    EXPECT_LT(snap.samples[i - 1].name, snap.samples[i].name);
+  }
+}
+
+TEST(ObsMetrics, HistogramMergesAcrossShards) {
+  MetricsRegistry reg;
+  LatencyHistogram* h0 = reg.Histogram("lat.ns");  // "Shard 0".
+  LatencyHistogram* h1 = reg.Histogram("lat.ns");  // "Shard 1".
+  for (int i = 0; i < 100; i++) {
+    h0->Observe(100);  // Bucket 6.
+  }
+  for (int i = 0; i < 100; i++) {
+    h1->Observe(5000);  // Bucket 12.
+  }
+  h1->Observe(0);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  const Sample* s = snap.Find("lat.ns");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, MetricKind::kHistogram);
+  EXPECT_EQ(s->sources, 2);
+  EXPECT_EQ(s->count, 201u);
+  EXPECT_EQ(s->sum, 100u * 100 + 100u * 5000);
+  EXPECT_EQ(s->buckets[LatencyHistogram::BucketOf(100)], 100u);
+  EXPECT_EQ(s->buckets[LatencyHistogram::BucketOf(5000)], 100u);
+  EXPECT_EQ(s->buckets[0], 1u);
+  // Percentiles come back as bucket ceilings: p25 in the low mode, p99 high.
+  EXPECT_LE(s->Percentile(0.25), LatencyHistogram::BucketCeil(6));
+  EXPECT_GE(s->Percentile(0.99), 4096u);
+}
+
+TEST(ObsMetrics, DeltaSubtractsCountersKeepsGauges) {
+  RelaxedCounter c;
+  int64_t gauge_now = 5;
+  MetricsRegistry reg;
+  reg.Counter("d.count", &c);
+  reg.Gauge("d.shard0.gauge", [&] { return gauge_now; });
+  LatencyHistogram* h = reg.Histogram("d.hist");
+
+  c += 10;
+  h->Observe(8);
+  MetricsSnapshot before = reg.Snapshot();
+
+  c += 5;
+  h->Observe(8);
+  h->Observe(1 << 20);
+  gauge_now = 11;
+  MetricsSnapshot delta = reg.Snapshot().DeltaSince(before);
+
+  EXPECT_EQ(delta.Value("d.count"), 5u);
+  EXPECT_EQ(static_cast<int64_t>(delta.Value("d.shard0.gauge")), 11);
+  const Sample* hs = delta.Find("d.hist");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 2u);
+  EXPECT_EQ(hs->buckets[LatencyHistogram::BucketOf(8)], 1u);
+  EXPECT_EQ(hs->buckets[LatencyHistogram::BucketOf(1 << 20)], 1u);
+}
+
+TEST(ObsMetrics, TextAndJsonExporters) {
+  RelaxedCounter c, z;
+  c += 3;
+  MetricsRegistry reg;
+  reg.Counter("t.nonzero", &c);
+  reg.Counter("t.zero", &z);
+  reg.Histogram("t.hist")->Observe(1000);
+  MetricsSnapshot snap = reg.Snapshot();
+
+  std::string text = snap.Text();
+  EXPECT_NE(text.find("t.nonzero"), std::string::npos);
+  EXPECT_EQ(text.find("t.zero"), std::string::npos);  // skip_zero default.
+  EXPECT_NE(snap.Text(false).find("t.zero"), std::string::npos);
+
+  std::string json = snap.Json();
+  std::string error;
+  EXPECT_TRUE(ValidateJson(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"t.zero\""), std::string::npos);  // JSON is complete.
+  EXPECT_NE(json.find("\"t.hist\""), std::string::npos);
+}
+
+// Snapshot-delta correctness with writers running: live snapshots are
+// approximate but must be monotonic, and the after-join snapshot exact.
+// (This test is in the TSan leg: the RelaxedCounter reads must be data-race
+// free against the writer threads.)
+TEST(ObsMetrics, SnapshotUnderConcurrentWriters) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 200000;
+  std::vector<std::unique_ptr<RelaxedCounter>> counters;
+  MetricsRegistry reg;
+  for (int t = 0; t < kThreads; t++) {
+    counters.push_back(std::make_unique<RelaxedCounter>());
+    reg.Counter("cc.total", counters.back().get());
+  }
+  LatencyHistogram* hist = reg.Histogram("cc.hist");
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        (*counters[static_cast<size_t>(t)])++;
+        if (i % 64 == 0) {
+          hist->Observe(i + 1);
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  MetricsSnapshot prev = reg.Snapshot();
+  for (int i = 0; i < 50; i++) {
+    MetricsSnapshot cur = reg.Snapshot();
+    // Counters are monotonic, so live deltas never go negative...
+    EXPECT_GE(cur.Value("cc.total"), prev.Value("cc.total"));
+    // ...and DeltaSince agrees with direct subtraction.
+    MetricsSnapshot delta = cur.DeltaSince(prev);
+    EXPECT_EQ(delta.Value("cc.total"), cur.Value("cc.total") - prev.Value("cc.total"));
+    prev = std::move(cur);
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  MetricsSnapshot final_snap = reg.Snapshot();
+  EXPECT_EQ(final_snap.Value("cc.total"), kThreads * kPerThread);
+  const Sample* hs = final_snap.Find("cc.hist");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, kThreads * (kPerThread / 64));
+}
+
+// ---- Trace ring ------------------------------------------------------------
+
+TEST(ObsTrace, RingWrapsOverwritingOldest) {
+  TraceRing ring(6, /*shard=*/3);  // Rounds up to 8.
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (uint64_t i = 0; i < 20; i++) {
+    ring.Emit(TraceKind::kRingPush, static_cast<int32_t>(i), i, i * 2);
+  }
+  EXPECT_EQ(ring.total(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+
+  std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first: the surviving events are 12..19, in emit order.
+  for (size_t i = 0; i < events.size(); i++) {
+    EXPECT_EQ(events[i].a, 12 + i);
+    EXPECT_EQ(events[i].b, 2 * (12 + i));
+    EXPECT_EQ(events[i].shard, 3u);
+  }
+  for (size_t i = 1; i < events.size(); i++) {
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+}
+
+TEST(ObsTrace, PartialRingSnapshotsInOrder) {
+  TraceRing ring(16, 0);
+  ring.Emit(TraceKind::kTimerFire, -1, 1, 0);
+  ring.Emit(TraceKind::kWakeup, -1, 2, 0);
+  std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, static_cast<uint16_t>(TraceKind::kTimerFire));
+  EXPECT_EQ(events[1].kind, static_cast<uint16_t>(TraceKind::kWakeup));
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(ObsTrace, ThreadRingGateAndMacro) {
+  TraceRing ring(16, 0);
+  InstallThreadTraceRing(&ring);
+  SetTraceEnabled(false);
+  ENS_TRACE(kRingPush, 1, 2, 3);
+  EXPECT_EQ(ring.total(), 0u);  // Gate off: single-branch no-op.
+
+  SetTraceEnabled(true);
+  ENS_TRACE(kRingPush, 1, 2, 3);
+  SetTraceEnabled(false);
+  InstallThreadTraceRing(nullptr);
+
+  if (kTraceCompiledIn) {
+    ASSERT_EQ(ring.total(), 1u);
+    TraceEvent e = ring.Snapshot()[0];
+    EXPECT_EQ(e.kind, static_cast<uint16_t>(TraceKind::kRingPush));
+    EXPECT_EQ(e.member, 1);
+    EXPECT_EQ(e.a, 2u);
+    EXPECT_EQ(e.b, 3u);
+  } else {
+    EXPECT_EQ(ring.total(), 0u);  // Compiled out: zero bytes at call sites.
+  }
+  // Emitting with no thread ring installed must be safe.
+  SetTraceEnabled(true);
+  TraceToThreadRing(TraceKind::kWakeup, -1, 0, 0);
+  SetTraceEnabled(false);
+}
+
+// Golden check: the Chrome trace export parses and carries the expected
+// structure (thread tracks, instant events, async migration begin/end).
+TEST(ObsTrace, ChromeTraceJsonParses) {
+  TraceRing shard0(32, 0);
+  TraceRing shard1(32, 1);
+  shard0.Emit(TraceKind::kLayerDown, 2, 4, 0);
+  shard0.Emit(TraceKind::kBypassDownPunt, 2, 6, 0);
+  shard0.Emit(TraceKind::kStealRequest, -1, 0, 0);
+  shard0.Emit(TraceKind::kHandoffStart, 7, 1, 0);   // Async begin on shard 0...
+  shard1.Emit(TraceKind::kAdopt, 7, 0, 3);          // ...ends on shard 1.
+  shard1.Emit(TraceKind::kRingDrain, -1, 5, 0);
+
+  std::string json = ChromeTraceJson({&shard0, &shard1});
+  std::string error;
+  ASSERT_TRUE(ValidateJson(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"shard 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard 1\""), std::string::npos);
+  // The migration lifecycle is an async begin/end pair with a shared id.
+  EXPECT_NE(json.find("\"migration\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find(TraceKindName(TraceKind::kBypassDownPunt)), std::string::npos);
+}
+
+TEST(ObsTrace, WriteChromeTraceRoundTripsThroughFile) {
+  TraceRing ring(16, 0);
+  ring.Emit(TraceKind::kTimerFire, -1, 2, 0);
+  std::string path = ::testing::TempDir() + "obs_trace_golden.json";
+  ASSERT_TRUE(WriteChromeTrace(path, {&ring}));
+  std::string error;
+  EXPECT_TRUE(ValidateJsonFile(path, &error)) << error;
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, EmptyRingSetStillValidJson) {
+  TraceRing ring(8, 0);
+  std::string json = ChromeTraceJson({&ring});
+  std::string error;
+  EXPECT_TRUE(ValidateJson(json, &error)) << error << "\n" << json;
+  EXPECT_TRUE(ValidateJson(ChromeTraceJson({}), &error)) << error;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ensemble
