@@ -82,7 +82,7 @@ Row RunConfig(int workers, int pairs) {
   ShardRuntimeConfig config;
   config.backend = ShardBackend::kUdp;
   config.num_workers = workers;
-  config.batch = UdpBatchConfig::Batched(16);
+  config.net = NetBackendConfig::Batched(16);
   config.ep.mode = StackMode::kMachine;
   config.ep.layers = FourLayerStack();
   config.ep.params.local_loopback = false;

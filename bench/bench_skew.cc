@@ -105,7 +105,7 @@ SkewRow RunConfig(int workers, bool stealing, double warmup_secs, double measure
   ShardRuntimeConfig config;
   config.backend = ShardBackend::kUdp;
   config.num_workers = workers;
-  config.batch = UdpBatchConfig::Batched(16);
+  config.net = NetBackendConfig::Batched(16);
   config.initial_shard = placement;
   config.steal.enabled = stealing;
   config.steal.min_victim_load = 4;

@@ -4,11 +4,14 @@
 //
 // Two tiers are measured:
 //
-//   1. Network+transport tier: 64-byte messages A→B, sweeping the batching
-//      knobs — eager sendmsg/recvfrom (the seed path), the sendmmsg/recvmmsg
-//      staging ring, transport-level message packing, and both combined.
-//      Reported: msgs/sec and syscalls/msg (send + recv syscalls over
-//      delivered messages), straight from NetworkStats.
+//   1. Network+transport tier: 64-byte messages A→B, sweeping the datapath
+//      backend (eager sendmsg/recvfrom, the sendmmsg/recvmmsg staging ring,
+//      and the io_uring engine with GSO/GRO — all three in the same run),
+//      transport-level message packing, and combinations.  Reported:
+//      msgs/sec and syscalls/msg (send + recv syscalls + io_uring enters
+//      over delivered messages), straight from NetworkStats.  Each row
+//      carries the backend that actually ran (uring rows fall back to mmsg
+//      on hosts without io_uring, and say so).
 //
 //   2. Full MACH GroupEndpoint stack: bypass-compiled casts through the
 //      compressed codec, with and without packing+batching.
@@ -38,6 +41,7 @@ constexpr size_t kWave = 256;        // Messages between drain points.
 struct Row {
   std::string section;
   std::string label;
+  std::string backend;  // active_backend() — what actually ran.
   size_t sent = 0;
   size_t delivered = 0;
   double secs = 0;
@@ -50,7 +54,9 @@ void FinishRow(Row* r, const NetworkStats& stats, uint64_t ns) {
   r->net = SnapshotNetworkStats(stats);
   r->secs = static_cast<double>(ns) / 1e9;
   r->msgs_per_sec = r->delivered / r->secs;
-  uint64_t syscalls = r->net.Value("net.send_syscalls") + r->net.Value("net.recv_syscalls");
+  uint64_t syscalls = r->net.Value("net.send_syscalls") +
+                      r->net.Value("net.recv_syscalls") +
+                      r->net.Value("net.uring_enters");
   r->syscalls_per_msg =
       r->delivered == 0
           ? 0
@@ -59,15 +65,14 @@ void FinishRow(Row* r, const NetworkStats& stats, uint64_t ns) {
 
 // ---- tier 1: raw network + transport packer --------------------------------
 
-Row RunRaw(const std::string& label, bool batch, size_t batch_size,
+Row RunRaw(const std::string& label, const NetBackendConfig& cfg,
            size_t pack_window) {
   Row row;
   row.section = "raw";
   row.label = label;
   UdpNetwork net;
-  if (batch) {
-    net.set_batch_config(UdpBatchConfig::Batched(batch_size));
-  }
+  net.set_backend_config(cfg);
+  row.backend = NetBackendName(net.active_backend());
   EndpointId a{1}, b{2};
   size_t got = 0;
   Transport unpacker;
@@ -129,14 +134,14 @@ Row RunRaw(const std::string& label, bool batch, size_t batch_size,
 
 // ---- tier 2: full MACH stack over UDP --------------------------------------
 
-Row RunStack(const std::string& label, bool batched) {
+Row RunStack(const std::string& label, const NetBackendConfig& cfg,
+             bool batched) {
   Row row;
   row.section = "stack";
   row.label = label;
   UdpNetwork net;
-  if (batched) {
-    net.set_batch_config(UdpBatchConfig::Batched(16));
-  }
+  net.set_backend_config(cfg);
+  row.backend = NetBackendName(net.active_backend());
   EndpointConfig config;
   config.mode = StackMode::kMachine;
   config.layers = TenLayerStack();
@@ -190,15 +195,17 @@ Row RunStack(const std::string& label, bool batched) {
 }
 
 void PrintRows(const std::vector<Row>& rows) {
-  std::printf("\n%-24s %10s %12s %14s %12s %10s %10s %10s\n", "config", "delivered",
-              "msgs/sec", "syscalls/msg", "send_sys", "recv_sys", "packed", "batches");
+  std::printf("\n%-24s %-7s %10s %12s %14s %10s %8s %8s %8s\n", "config",
+              "backend", "delivered", "msgs/sec", "syscalls/msg", "enters",
+              "gso_seg", "gro_seg", "packed");
   for (const Row& r : rows) {
-    std::printf("%-24s %10zu %12.0f %14.3f %12llu %10llu %10llu %10llu\n",
-                r.label.c_str(), r.delivered, r.msgs_per_sec, r.syscalls_per_msg,
-                static_cast<unsigned long long>(r.net.Value("net.send_syscalls")),
-                static_cast<unsigned long long>(r.net.Value("net.recv_syscalls")),
-                static_cast<unsigned long long>(r.net.Value("net.packed_datagrams")),
-                static_cast<unsigned long long>(r.net.Value("net.send_batches")));
+    std::printf("%-24s %-7s %10zu %12.0f %14.3f %10llu %8llu %8llu %8llu\n",
+                r.label.c_str(), r.backend.c_str(), r.delivered,
+                r.msgs_per_sec, r.syscalls_per_msg,
+                static_cast<unsigned long long>(r.net.Value("net.uring_enters")),
+                static_cast<unsigned long long>(r.net.Value("net.gso_segments")),
+                static_cast<unsigned long long>(r.net.Value("net.gro_segments")),
+                static_cast<unsigned long long>(r.net.Value("net.packed_datagrams")));
   }
 }
 
@@ -208,6 +215,7 @@ void WriteJson(const std::vector<Row>& rows) {
   for (const Row& r : rows) {
     w.BeginObject();
     w.KV("section", r.section).KV("config", r.label);
+    w.KV("backend", r.backend);
     w.KV("msg_bytes", static_cast<uint64_t>(kMsgSize));
     w.KV("sent", static_cast<uint64_t>(r.sent));
     w.KV("delivered", static_cast<uint64_t>(r.delivered));
@@ -254,19 +262,31 @@ int main(int argc, char** argv) {
 
   std::vector<Row> rows;
   std::printf("\n== Tier 1: network + transport (%zu msgs per config) ==\n", kRawMsgs);
-  rows.push_back(RunRaw("eager (seed path)", false, 0, 1));
-  rows.push_back(RunRaw("sendmmsg=8", true, 8, 1));
-  rows.push_back(RunRaw("sendmmsg=16", true, 16, 1));
-  rows.push_back(RunRaw("pack=16", false, 0, 16));
-  rows.push_back(RunRaw("sendmmsg=8+pack=8", true, 8, 8));
-  rows.push_back(RunRaw("sendmmsg=16+pack=16", true, 16, 16));
+  rows.push_back(RunRaw("eager (seed path)", NetBackendConfig::Eager(), 1));
+  rows.push_back(RunRaw("sendmmsg=8", NetBackendConfig::Batched(8), 1));
+  rows.push_back(RunRaw("sendmmsg=16", NetBackendConfig::Batched(16), 1));
+  rows.push_back(RunRaw("uring=16", NetBackendConfig::Uring(16), 1));
+  rows.push_back(RunRaw("pack=16", NetBackendConfig::Eager(), 16));
+  rows.push_back(RunRaw("sendmmsg=8+pack=8", NetBackendConfig::Batched(8), 8));
+  rows.push_back(RunRaw("sendmmsg=16+pack=16", NetBackendConfig::Batched(16), 16));
+  rows.push_back(RunRaw("uring=16+pack=16", NetBackendConfig::Uring(16), 16));
   PrintRows(rows);
 
   double eager = rows[0].msgs_per_sec;
-  double best = rows[5].msgs_per_sec;
-  std::printf("\nbatching+packing vs eager: %.2fx msgs/sec\n", best / eager);
+  const Row& mmsg16 = rows[2];
+  const Row& uring16 = rows[3];
+  std::printf("\nbatching+packing vs eager: %.2fx msgs/sec\n",
+              rows[6].msgs_per_sec / eager);
+  if (uring16.backend == "uring") {
+    std::printf("uring vs mmsg (batch 16): %.2fx msgs/sec, syscalls/msg %.3f vs %.3f\n",
+                uring16.msgs_per_sec / mmsg16.msgs_per_sec,
+                uring16.syscalls_per_msg, mmsg16.syscalls_per_msg);
+  } else {
+    std::printf("uring rows fell back to %s (io_uring unavailable here)\n",
+                uring16.backend.c_str());
+  }
   for (const Row& r : rows) {
-    if (r.label.rfind("sendmmsg", 0) == 0) {
+    if (r.label.rfind("sendmmsg", 0) == 0 || r.label.rfind("uring", 0) == 0) {
       std::printf("  %-24s syscalls/msg = %.3f (%s 1)\n", r.label.c_str(),
                   r.syscalls_per_msg, r.syscalls_per_msg < 1.0 ? "<" : ">=");
     }
@@ -275,11 +295,14 @@ int main(int argc, char** argv) {
   std::printf("\n== Tier 2: MACH 10-layer stack, bypass casts (%zu casts per config) ==\n",
               kStackCasts);
   std::vector<Row> stack_rows;
-  stack_rows.push_back(RunStack("stack eager", false));
-  stack_rows.push_back(RunStack("stack batched+packed", true));
+  stack_rows.push_back(RunStack("stack eager", NetBackendConfig::Eager(), false));
+  stack_rows.push_back(RunStack("stack batched+packed", NetBackendConfig::Batched(16), true));
+  stack_rows.push_back(RunStack("stack uring+packed", NetBackendConfig::Uring(16), true));
   PrintRows(stack_rows);
   std::printf("\nstack batched+packed vs eager: %.2fx casts/sec\n",
               stack_rows[1].msgs_per_sec / stack_rows[0].msgs_per_sec);
+  std::printf("stack uring+packed vs eager:   %.2fx casts/sec\n",
+              stack_rows[2].msgs_per_sec / stack_rows[0].msgs_per_sec);
 
   rows.insert(rows.end(), stack_rows.begin(), stack_rows.end());
   WriteJson(rows);

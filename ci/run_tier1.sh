@@ -8,6 +8,9 @@
 #              ThreadSanitizer.
 #   --notrace  build a separate tree with -DENSEMBLE_TRACE=OFF (ENS_TRACE
 #              compiled out entirely) and run the full suite against it.
+#   --nouring  build a separate tree with -DENSEMBLE_URING=OFF (the io_uring
+#              backend compiled out to stubs) and run the full suite: proves
+#              the mmsg fallback carries every uring-tagged configuration.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,6 +22,14 @@ if [ "${1:-}" = "--tsan" ]; then
   # TSAN_OPTIONS makes any reported race fail the run even if tests pass.
   TSAN_OPTIONS="halt_on_error=0 exitcode=66" \
     ctest --output-on-failure -R 'MpscRing|ShardRuntime|GroupHarnessSharded|Obs'
+  exit 0
+fi
+
+if [ "${1:-}" = "--nouring" ]; then
+  cmake -B build-nouring -S . -DENSEMBLE_URING=OFF
+  cmake --build build-nouring -j "$(nproc 2>/dev/null || echo 4)"
+  cd build-nouring
+  ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
   exit 0
 fi
 

@@ -143,7 +143,7 @@ GroupHarness::ShardedRunResult GroupHarness::RunSharded(int num_workers,
   rt_config.num_workers = num_workers;
   rt_config.ep = config_.ep;
   rt_config.member_modes = config_.member_modes;
-  rt_config.batch = options.batch;
+  rt_config.net = options.net;
   rt_config.steal = options.steal;
   rt_config.pin_cores = options.pin_cores;
   rt_config.initial_shard = options.initial_shard;

@@ -100,7 +100,7 @@ class GroupHarness {
 
   // Runtime knobs RunSharded passes through to the ShardRuntime it builds.
   struct ShardedRunOptions {
-    UdpBatchConfig batch;           // Socket batching (default: eager).
+    NetBackendConfig net;           // Datapath backend (default: eager).
     StealConfig steal;              // Work stealing (default: off).
     bool pin_cores = false;         // Worker → core affinity.
     std::vector<int> initial_shard; // Explicit member placement (skew setups).

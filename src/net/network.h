@@ -56,6 +56,20 @@ struct NetworkStats {
   RelaxedCounter max_send_batch = 0;     // Largest single flush (datagrams).
   RelaxedCounter packed_datagrams = 0;   // Datagrams carrying packed sub-messages.
   RelaxedCounter packed_submsgs = 0;     // Sub-messages inside those datagrams.
+  // io_uring backend observability (zero on the eager/mmsg paths).  The
+  // syscall story for uring is uring_enters: one enter can submit a whole
+  // flush of SQEs and reap a burst of CQEs, so syscalls/msg compares
+  // send_syscalls + recv_syscalls + uring_enters across backends.
+  RelaxedCounter uring_enters = 0;       // io_uring_enter(2) invocations.
+  RelaxedCounter uring_sqes = 0;         // Submission entries pushed.
+  RelaxedCounter uring_sqe_batches = 0;  // Submissions covering >1 SQE.
+  RelaxedCounter uring_cqes = 0;         // Completion entries reaped.
+  RelaxedCounter uring_cqe_batches = 0;  // Reaps covering >1 CQE.
+  RelaxedCounter gso_sends = 0;          // UDP_SEGMENT super-datagrams sent.
+  RelaxedCounter gso_segments = 0;       // Wire datagrams inside them.
+  RelaxedCounter gro_recvs = 0;          // Coalesced receives (UDP_GRO trains).
+  RelaxedCounter gro_segments = 0;       // Logical datagrams split out of them.
+  RelaxedCounter bufring_refills = 0;    // Registered buffer-ring re-provisions.
 
   // Accumulates another instance's counters into this one (max for the max
   // field).  The sharded runtime and the benches sum per-shard stats with it.
@@ -75,6 +89,16 @@ struct NetworkStats {
     }
     packed_datagrams += o.packed_datagrams;
     packed_submsgs += o.packed_submsgs;
+    uring_enters += o.uring_enters;
+    uring_sqes += o.uring_sqes;
+    uring_sqe_batches += o.uring_sqe_batches;
+    uring_cqes += o.uring_cqes;
+    uring_cqe_batches += o.uring_cqe_batches;
+    gso_sends += o.gso_sends;
+    gso_segments += o.gso_segments;
+    gro_recvs += o.gro_recvs;
+    gro_segments += o.gro_segments;
+    bufring_refills += o.bufring_refills;
   }
 };
 

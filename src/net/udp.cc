@@ -12,14 +12,31 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/net/udp_uring.h"
 #include "src/obs/trace.h"
 #include "src/util/logging.h"
 
 #if defined(__linux__)
 #define ENSEMBLE_HAVE_MMSG 1
 #endif
+#ifndef SOL_UDP
+#define SOL_UDP 17
+#endif
+#ifndef UDP_GRO
+#define UDP_GRO 104
+#endif
 
 namespace ensemble {
+
+const char* NetBackendName(NetBackend b) {
+  switch (b) {
+    case NetBackend::kEager: return "eager";
+    case NetBackend::kMmsg: return "mmsg";
+    case NetBackend::kUring: return "uring";
+    case NetBackend::kAuto: return "auto";
+  }
+  return "?";
+}
 
 namespace {
 constexpr size_t kMaxDatagram = 65536;
@@ -35,13 +52,85 @@ sockaddr_in LoopbackAddr(uint16_t port) {
 }
 }  // namespace
 
+UdpNetwork::UdpNetwork() = default;
+
 UdpNetwork::~UdpNetwork() {
   Flush();
+  engine_.reset();  // Ring teardown before the fds it references close.
   for (auto& [ep, state] : endpoints_) {
     if (state.fd >= 0) {
       close(state.fd);
     }
   }
+}
+
+void UdpNetwork::set_backend_config(NetBackendConfig config) {
+  Flush();
+  cfg_ = config;
+  ResolveBackend();
+}
+
+void UdpNetwork::ResolveBackend() {
+  NetBackend want = cfg_.backend;
+  if (want == NetBackend::kAuto) {
+    want = UringEngine::Available() ? NetBackend::kUring : NetBackend::kMmsg;
+  } else if (want == NetBackend::kUring && !UringEngine::Available()) {
+    LogUnsupportedOnce("io_uring backend (falling back to mmsg)");
+    want = NetBackend::kMmsg;
+  }
+  if (want != NetBackend::kUring && engine_) {
+    // Leaving uring: catch the wire up, deliver what the ring already pulled
+    // in, and strip GRO so the mmsg/eager drains see plain datagrams again.
+    engine_->DrainSends();
+    engine_->ReapAndDeliver();
+    engine_.reset();
+    for (auto& [ep, state] : endpoints_) {
+      int zero = 0;
+      setsockopt(state.fd, SOL_UDP, UDP_GRO, &zero, sizeof(zero));
+    }
+  }
+  if (want == NetBackend::kUring && !engine_) {
+    UringEngine::Options opts;
+    opts.sq_entries = cfg_.uring_sq_entries;
+    opts.recv_buffers = cfg_.uring_recv_buffers;
+    opts.gso = cfg_.uring_gso;
+    opts.gro = cfg_.uring_gro;
+    auto engine = std::make_unique<UringEngine>(&recv_pool_, &stats_, opts);
+    bool up = engine->Init(
+        [this](uint64_t cookie, uint16_t src_port, Bytes payload) {
+          auto it = endpoints_.find(EndpointId{cookie});
+          if (it == endpoints_.end()) {
+            stats_.dropped++;  // Raced a detach; nowhere to deliver.
+            return;
+          }
+          Packet packet;
+          auto src = by_port_.find(src_port);
+          packet.src = src != by_port_.end() ? src->second : EndpointId{0};
+          packet.dst = EndpointId{cookie};
+          packet.datagram = std::move(payload);
+          if (it->second.deliver) {
+            it->second.deliver(packet);
+          }
+        });
+    if (up) {
+      engine_ = std::move(engine);
+      engine_->SetWakerFd(waker_.fd());
+      for (auto& [ep, state] : endpoints_) {
+        engine_->AddSocket(state.fd, ep.id);
+      }
+    } else {
+      LogUnsupportedOnce("io_uring backend (falling back to mmsg)");
+      want = NetBackend::kMmsg;
+    }
+  }
+  active_ = want;
+}
+
+void UdpNetwork::UringQuiesce(int fd) {
+  engine_->RemoveSocket(fd);
+  // Deliver datagrams the ring had already pulled off this (or any) socket —
+  // the endpoint is still attached, so its deliver callback still resolves.
+  engine_->DeliverPending();
 }
 
 void UdpNetwork::Attach(EndpointId ep, DeliverFn deliver) {
@@ -68,7 +157,11 @@ void UdpNetwork::Attach(EndpointId ep, DeliverFn deliver) {
   state.port = ntohs(addr.sin_port);
   state.deliver = std::move(deliver);
   by_port_[state.port] = ep;
+  int fd = state.fd;
   endpoints_[ep] = std::move(state);
+  if (engine_) {
+    engine_->AddSocket(fd, ep.id);
+  }
 }
 
 void UdpNetwork::Detach(EndpointId ep) {
@@ -78,6 +171,9 @@ void UdpNetwork::Detach(EndpointId ep) {
     return;
   }
   FlushEndpoint(it->second);  // Staged farewells (Leave) still go out.
+  if (engine_) {
+    UringQuiesce(it->second.fd);
+  }
   by_port_.erase(it->second.port);
   if (it->second.fd >= 0) {
     close(it->second.fd);
@@ -100,6 +196,13 @@ UdpNetwork::ReleasedEndpoint UdpNetwork::Release(EndpointId ep) {
     return out;
   }
   FlushEndpoint(it->second);  // Staged sends go out before ownership moves.
+  if (engine_) {
+    UringQuiesce(it->second.fd);
+    // The next owner may not run GRO-aware receives; hand over a socket that
+    // delivers plain datagrams (its Adopt re-enables GRO if it runs uring).
+    int zero = 0;
+    setsockopt(it->second.fd, SOL_UDP, UDP_GRO, &zero, sizeof(zero));
+  }
   out.fd = it->second.fd;
   out.port = it->second.port;
   out.deliver = std::move(it->second.deliver);
@@ -127,7 +230,11 @@ void UdpNetwork::Adopt(EndpointId ep, ReleasedEndpoint state) {
   if (state.drain_hook) {
     drain_hooks_[ep] = std::move(state.drain_hook);
   }
+  int fd = local.fd;
   endpoints_[ep] = std::move(local);  // Next PollWait rebuilds the fd set.
+  if (engine_) {
+    engine_->AddSocket(fd, ep.id);
+  }
 }
 
 void UdpNetwork::SetDrainHook(EndpointId ep, std::function<void()> hook) {
@@ -161,7 +268,14 @@ void UdpNetwork::Send(EndpointId src, EndpointId dst, const Iovec& gather) {
     return;
   }
   CountIfPacked(&stats_, gather);
-  if (batch_.batch_sends) {
+  if (active_ == NetBackend::kUring) {
+    engine_->StageSend(from->second.fd, port, gather);
+    if (engine_->staged_sends() >= cfg_.send_batch) {
+      engine_->SubmitSends();  // Submit, don't wait: Flush() is the barrier.
+    }
+    return;
+  }
+  if (active_ == NetBackend::kMmsg) {
     Enqueue(from->second, port, gather);
     return;
   }
@@ -189,7 +303,7 @@ void UdpNetwork::Send(EndpointId src, EndpointId dst, const Iovec& gather) {
 }
 
 void UdpNetwork::Broadcast(EndpointId src, const Iovec& gather) {
-  if (batch_.batch_sends) {
+  if (active_ != NetBackend::kEager) {
     auto from = endpoints_.find(src);
     if (from == endpoints_.end()) {
       stats_.dropped++;
@@ -198,13 +312,19 @@ void UdpNetwork::Broadcast(EndpointId src, const Iovec& gather) {
     CountIfPacked(&stats_, gather);
     // One staged entry per destination (local endpoints and remote peers);
     // the Iovec parts are refcounted, so fan-out shares the payload bytes.
+    bool uring = active_ == NetBackend::kUring;
     for (const auto& [ep, state] : endpoints_) {
       if (ep != src) {
-        Enqueue(from->second, state.port, gather);
+        uring ? engine_->StageSend(from->second.fd, state.port, gather)
+              : Enqueue(from->second, state.port, gather);
       }
     }
     for (const auto& [ep, port] : peers_) {
-      Enqueue(from->second, port, gather);
+      uring ? engine_->StageSend(from->second.fd, port, gather)
+            : Enqueue(from->second, port, gather);
+    }
+    if (uring && engine_->staged_sends() >= cfg_.send_batch) {
+      engine_->SubmitSends();
     }
     return;
   }
@@ -222,7 +342,7 @@ void UdpNetwork::Broadcast(EndpointId src, const Iovec& gather) {
 void UdpNetwork::Enqueue(Endpoint& from, uint16_t port, const Iovec& gather) {
   from.ring.push_back(Staged{port, gather});
   stats_.batched_datagrams++;
-  if (from.ring.size() >= batch_.send_batch) {
+  if (from.ring.size() >= cfg_.send_batch) {
     FlushEndpoint(from);
   }
 }
@@ -300,6 +420,11 @@ void UdpNetwork::Flush() {
   for (auto& [ep, state] : endpoints_) {
     FlushEndpoint(state);
   }
+  if (engine_) {
+    // Wait for the send CQEs: on return the wire (and the sent/bytes
+    // counters) are caught up, matching the synchronous backends.
+    engine_->DrainSends();
+  }
 }
 
 void UdpNetwork::PrewarmRecvBuffers(size_t chunks) { recv_pool_.Prewarm(chunks); }
@@ -357,7 +482,7 @@ size_t UdpNetwork::DrainOneBatched(Endpoint& state, EndpointId ep) {
   // chunk whose slice was handed out is replaced (the consumer's last ref
   // recycles it); untouched chunks are reused for the next syscall.
   size_t events = 0;
-  size_t vlen = std::max<size_t>(1, batch_.recv_batch);
+  size_t vlen = std::max<size_t>(1, cfg_.recv_batch);
   if (recv_bufs_.size() < vlen) {
     recv_bufs_.resize(vlen);
   }
@@ -436,10 +561,13 @@ size_t UdpNetwork::DrainOneBatched(Endpoint& state, EndpointId ep) {
 }
 
 size_t UdpNetwork::DrainSockets() {
+  if (active_ == NetBackend::kUring) {
+    return engine_->ReapAndDeliver();
+  }
   size_t events = 0;
   for (auto& [ep, state] : endpoints_) {
-    events += batch_.batch_recvs ? DrainOneBatched(state, ep)
-                                 : DrainOneEager(state, ep);
+    events += active_ == NetBackend::kMmsg ? DrainOneBatched(state, ep)
+                                           : DrainOneEager(state, ep);
   }
   return events;
 }
@@ -462,21 +590,27 @@ size_t UdpNetwork::Poll() {
 }
 
 void UdpNetwork::IdleWait(VTime max_wait) {
-  // Block in poll(2) on the sockets plus the wakeup fd, until traffic
-  // arrives, another thread calls Wakeup(), the next timer is due, or
-  // `max_wait` passes — whichever is first.
+  // Block until traffic arrives, another thread calls Wakeup(), the next
+  // timer is due, or `max_wait` passes — whichever is first.
+  VTime wait = max_wait;
+  if (!timers_.empty()) {
+    VTime now = NowNanos();
+    VTime until_timer = timers_.top().due > now ? timers_.top().due - now : 0;
+    wait = std::min(wait, until_timer);
+  }
+  if (active_ == NetBackend::kUring) {
+    // The multishot recvs and the ring-registered waker poll make every wake
+    // source a CQE; the sleep is one io_uring_enter with an EXT_ARG timeout.
+    engine_->WaitCompletions(static_cast<uint64_t>(wait));
+    waker_.Drain();
+    return;
+  }
   std::vector<pollfd> fds;
   for (const auto& [ep, state] : endpoints_) {
     fds.push_back(pollfd{state.fd, POLLIN, 0});
   }
   if (waker_.fd() >= 0) {
     fds.push_back(pollfd{waker_.fd(), POLLIN, 0});
-  }
-  VTime wait = max_wait;
-  if (!timers_.empty()) {
-    VTime now = NowNanos();
-    VTime until_timer = timers_.top().due > now ? timers_.top().due - now : 0;
-    wait = std::min(wait, until_timer);
   }
   int timeout_ms = static_cast<int>((wait + 999'999) / 1'000'000);
   if (!fds.empty()) {
@@ -512,10 +646,27 @@ size_t UdpNetwork::PollFor(VTime duration) {
 
 #else  // Unsupported platform: every operation reports failure loudly.
 
+#include "src/net/udp_uring.h"
 #include "src/util/logging.h"
 
 namespace ensemble {
+const char* NetBackendName(NetBackend b) {
+  switch (b) {
+    case NetBackend::kEager: return "eager";
+    case NetBackend::kMmsg: return "mmsg";
+    case NetBackend::kUring: return "uring";
+    case NetBackend::kAuto: return "auto";
+  }
+  return "?";
+}
+UdpNetwork::UdpNetwork() = default;
 UdpNetwork::~UdpNetwork() = default;
+void UdpNetwork::set_backend_config(NetBackendConfig config) {
+  cfg_ = config;
+  active_ = NetBackend::kEager;  // No sockets anyway.
+}
+void UdpNetwork::ResolveBackend() {}
+void UdpNetwork::UringQuiesce(int) {}
 void UdpNetwork::Attach(EndpointId, DeliverFn) {
   ok_ = false;
   LogUnsupportedOnce("UdpNetwork::Attach");

@@ -7,15 +7,23 @@
 // credits for its size-independent latencies — and receives are non-blocking
 // and pumped by Poll().
 //
-// Batched hot path (off by default; the latency benches measure the eager
-// path): with `batch_sends` every outgoing datagram is staged in a per-socket
-// ring and flushed with one sendmmsg(2) when the ring fills or Flush() is
-// called; with `batch_recvs` sockets are drained with recvmmsg(2) straight
-// into refcounted pool-backed buffers, so a received payload is never copied
-// after the kernel wrote it (the slices handed to DeliverFn alias the pool
-// chunk).  Platforms without the mmsg syscalls fall back to a sendmsg/recvmsg
-// loop behind the same interface and the same staging semantics; only the
-// syscall counters differ.
+// Datapath backends (NetBackendConfig::backend):
+//   kEager — one sendmsg/recvfrom syscall per datagram (the latency benches
+//     measure this path; it reproduces the seed behaviour exactly).
+//   kMmsg — outgoing datagrams stage in a per-socket ring flushed with one
+//     sendmmsg(2) when the ring fills or Flush() is called; sockets drain
+//     with recvmmsg(2) straight into refcounted pool-backed buffers, so a
+//     received payload is never copied after the kernel wrote it (the slices
+//     handed to DeliverFn alias the pool chunk).  Platforms without the mmsg
+//     syscalls fall back to a sendmsg/recvmsg loop behind the same interface
+//     and the same staging semantics; only the syscall counters differ.
+//   kUring — an io_uring submission/completion ring pair (UringEngine,
+//     udp_uring.h) replaces the per-burst syscalls entirely: multishot
+//     receives into registered pool chunks, batched send submission with UDP
+//     GSO coalescing, GRO splitting on receive.  Unavailable kernels (or
+//     seccomp, or the ENSEMBLE_URING=OFF build) fall back to kMmsg with one
+//     LogUnsupportedOnce line.
+//   kAuto — kUring when the probe succeeds, else kMmsg, silently.
 //
 // Endpoint identity ↔ address: every attached endpoint gets its own UDP
 // socket bound to 127.0.0.1 with an ephemeral port; the registry maps ports
@@ -36,6 +44,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -48,25 +57,48 @@
 
 namespace ensemble {
 
-// Knobs for the batched fast path.  Defaults reproduce the eager seed
-// behaviour exactly (one syscall per datagram, heap-copied receives).
-struct UdpBatchConfig {
-  bool batch_sends = false;  // Stage sends; flush via sendmmsg.
-  size_t send_batch = 16;    // Auto-flush threshold per source socket.
-  bool batch_recvs = false;  // Drain with recvmmsg into pooled buffers.
-  size_t recv_batch = 16;    // Messages per recvmmsg call.
+class UringEngine;
 
-  static UdpBatchConfig Batched(size_t batch = 16) {
-    UdpBatchConfig c;
-    c.batch_sends = c.batch_recvs = true;
+// Which kernel datapath carries the datagrams (see the file comment).
+enum class NetBackend { kEager, kMmsg, kUring, kAuto };
+
+const char* NetBackendName(NetBackend b);
+
+// The one knob bundle every backend consumer (GroupHarness, ShardRuntime,
+// benches) passes around — batching thresholds for eager/mmsg plus the uring
+// ring geometry.  Defaults reproduce the eager seed behaviour exactly (one
+// syscall per datagram, heap-copied receives).
+struct NetBackendConfig {
+  NetBackend backend = NetBackend::kEager;
+  size_t send_batch = 16;        // Staging auto-flush threshold (mmsg/uring).
+  size_t recv_batch = 16;        // Messages per recvmmsg call (mmsg).
+  unsigned uring_sq_entries = 256;   // Submission ring depth (also send slots).
+  unsigned uring_recv_buffers = 32;  // Registered buffer-ring slots.
+  bool uring_gso = true;         // Coalesce same-size send runs (UDP_SEGMENT).
+  bool uring_gro = true;         // Kernel-coalesced receives (UDP_GRO).
+
+  static NetBackendConfig Eager() { return NetBackendConfig{}; }
+  static NetBackendConfig Batched(size_t batch = 16) {
+    NetBackendConfig c;
+    c.backend = NetBackend::kMmsg;
     c.send_batch = c.recv_batch = batch;
+    return c;
+  }
+  static NetBackendConfig Uring(size_t batch = 16) {
+    NetBackendConfig c = Batched(batch);  // Batch knobs double as fallback's.
+    c.backend = NetBackend::kUring;
+    return c;
+  }
+  static NetBackendConfig Auto(size_t batch = 16) {
+    NetBackendConfig c = Batched(batch);
+    c.backend = NetBackend::kAuto;
     return c;
   }
 };
 
 class UdpNetwork : public Network {
  public:
-  UdpNetwork() = default;
+  UdpNetwork();  // Out of line: UringEngine is incomplete here.
   ~UdpNetwork() override;
 
   UdpNetwork(const UdpNetwork&) = delete;
@@ -139,12 +171,15 @@ class UdpNetwork : public Network {
   void Wakeup() { waker_.NotifyCoalesced(); }
   Waker& waker() { return waker_; }
 
-  // Safe to change at any time; staged sends are flushed first.
-  void set_batch_config(UdpBatchConfig config) {
-    Flush();
-    batch_ = config;
-  }
-  const UdpBatchConfig& batch_config() const { return batch_; }
+  // Safe to change at any time; staged sends are flushed (and, when leaving
+  // the uring backend, in-flight completions are drained) first.  Resolves
+  // kAuto / unavailable-kUring to the backend that will actually run — see
+  // active_backend().
+  void set_backend_config(NetBackendConfig config);
+  const NetBackendConfig& backend_config() const { return cfg_; }
+  // The backend datagrams actually flow through after auto-detection and
+  // fallback (never kAuto; kUring only when the engine came up).
+  NetBackend active_backend() const { return active_; }
 
   bool ok() const { return ok_; }
   uint16_t PortOf(EndpointId ep) const;
@@ -185,9 +220,17 @@ class UdpNetwork : public Network {
   size_t DrainOneEager(Endpoint& state, EndpointId ep);
   size_t DrainOneBatched(Endpoint& state, EndpointId ep);
   size_t RunDueTimers();
+  // Resolves cfg_.backend (auto-detection, uring setup, fallback) into
+  // active_, creating or tearing down the engine as needed.
+  void ResolveBackend();
+  // Quiesces `fd` on the engine and delivers anything it had already pulled
+  // off the wire (Detach/Release path; endpoint must still be attached).
+  void UringQuiesce(int fd);
 
   bool ok_ = true;
-  UdpBatchConfig batch_;
+  NetBackendConfig cfg_;
+  NetBackend active_ = NetBackend::kEager;
+  std::unique_ptr<UringEngine> engine_;  // Live iff active_ == kUring.
   std::map<EndpointId, Endpoint> endpoints_;
   std::map<EndpointId, uint16_t> peers_;  // Remote endpoints (other shards).
   std::map<uint16_t, EndpointId> by_port_;

@@ -1,0 +1,210 @@
+// UringEngine — raw-syscall io_uring submission/completion datapath for
+// UdpNetwork (no liburing dependency; the container bakes in only the kernel
+// header).  One engine per UdpNetwork instance, i.e. one SQ/CQ ring pair per
+// shard's socket group:
+//
+//   - Receives are MULTISHOT RECVMSG: one armed SQE per socket keeps posting
+//     a CQE per datagram with no per-burst syscall.  Payloads land directly
+//     in kernel-selected buffers registered from the refcounted receive pool
+//     (IORING_OP_PROVIDE_BUFFERS, buffer group 0): each provided slot holds
+//     one pool chunk, the delivered Bytes slices alias the chunk, and
+//     consuming a CQE re-provides the slot with a fresh chunk — the consumed
+//     one recycles through the pool when the last slice reference drops,
+//     exactly the ownership rule the recvmmsg path established.  (The newer
+//     IORING_REGISTER_PBUF_RING mapping is not used: this host's kernel
+//     accepts the registration but never serves buffers from it, and the
+//     re-provision SQEs ride existing submissions, so the classic group
+//     costs no extra syscalls.)
+//
+//   - Sends are staged and submitted in batches: one io_uring_enter carries
+//     a whole flush.  Runs of same-destination, same-size datagrams collapse
+//     further via UDP GSO (UDP_SEGMENT cmsg): one SQE, one kernel traversal,
+//     N wire datagrams.  Single datagrams go out as zero-copy scatter-gather
+//     SENDMSG SQEs whose iovecs alias the refcounted parts (held in the send
+//     slot until the CQE retires them).
+//
+//   - UDP GRO (socket option, set per added socket) coalesces bursts of
+//     equal-size datagrams into one CQE whose payload the engine re-splits at
+//     the cmsg-reported segment size — zero-copy slices, one per original
+//     datagram.  This composes with kWirePacked packing: a GRO segment is a
+//     packed datagram, which the transport unpacker then splits into
+//     sub-messages, so one kernel traversal can carry pack_window × gro_segs
+//     messages.
+//
+//   - The owner's idle sleep is a single io_uring_enter(GETEVENTS) with an
+//     EXT_ARG timeout; the cross-thread Waker eventfd joins the ring as a
+//     (re-armed oneshot) POLL_ADD, so a foreign Wakeup() breaks the sleep
+//     exactly as it breaks poll(2) on the mmsg path.
+//
+// Threading: engine methods are owner-thread only (the Waker eventfd is the
+// cross-thread signal, and writing an eventfd is thread-safe by nature).
+//
+// Unavailability is graceful everywhere: Available() probes io_uring_setup
+// once (seccomp or old kernels fail here), Init() failure leaves the engine
+// !ok(), and UdpNetwork falls back to the mmsg backend.  The
+// ENSEMBLE_URING=OFF build compiles all of this out to the same stubs.
+
+#ifndef ENSEMBLE_SRC_NET_UDP_URING_H_
+#define ENSEMBLE_SRC_NET_UDP_URING_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/util/bytes.h"
+#include "src/util/pool.h"
+
+namespace ensemble {
+
+class UringEngine {
+ public:
+  struct Options {
+    unsigned sq_entries = 256;    // Submission ring depth (also send slots).
+    unsigned recv_buffers = 32;   // Registered buffer-ring slots (pool chunks).
+    bool gso = true;              // Coalesce same-size send runs via UDP_SEGMENT.
+    bool gro = true;              // Ask the kernel to coalesce receives (UDP_GRO).
+  };
+
+  // One logical received datagram (post-GRO-split).  `payload` aliases a
+  // registered pool chunk; holding it pins the chunk until released.
+  using RecvFn =
+      std::function<void(uint64_t cookie, uint16_t src_port, Bytes payload)>;
+
+  // `pool` provides the registered receive chunks (chunk_size must hold a max
+  // datagram); `stats` receives the uring_* / gso_* / gro_* counters plus
+  // sent/delivered/bytes accounting for traffic that flows through the rings.
+  UringEngine(BufferPool* pool, NetworkStats* stats, Options opts);
+  ~UringEngine();
+
+  UringEngine(const UringEngine&) = delete;
+  UringEngine& operator=(const UringEngine&) = delete;
+
+  // Probes io_uring_setup(2) once per process (cached).  False on kernels
+  // without io_uring, under seccomp filters that block it, or in the
+  // ENSEMBLE_URING=OFF build.
+  static bool Available();
+  // Test hook: force Available() to return `forced` (0/1); -1 restores the
+  // real probe.  Lets the fallback path run on hosts where uring works.
+  static void ForceAvailabilityForTest(int forced);
+
+  // Sets up the rings and the registered buffer ring.  False (and !ok) on any
+  // failure; the engine is then inert and the caller should fall back.
+  bool Init(RecvFn deliver);
+  bool ok() const { return ring_fd_ >= 0; }
+
+  // Arms a multishot receive for `fd`; `cookie` tags its deliveries (the
+  // attach-time endpoint id).  Sets UDP_GRO on the socket when enabled.
+  bool AddSocket(int fd, uint64_t cookie);
+  // Quiesces `fd`: submits staged sends, waits for their completions, cancels
+  // the multishot receive and waits for it to terminate.  Datagrams the ring
+  // already pulled out of the socket are queued for DeliverPending() — call
+  // it before detaching the endpoint so nothing in flight is dropped.
+  void RemoveSocket(int fd);
+  // Registers the Waker eventfd as a (re-armed oneshot) poll so cross-thread
+  // wakeups break WaitCompletions().
+  void SetWakerFd(int fd);
+
+  // Stages one outgoing datagram (refcounted parts; no copy unless the entry
+  // later joins a GSO run).  Does not submit.
+  void StageSend(int fd, uint16_t dst_port, const Iovec& gather);
+  size_t staged_sends() const;  // Out of line: Staged is incomplete here.
+  // Submits everything staged in one io_uring_enter (GSO-coalescing runs) and
+  // opportunistically retires available completions WITHOUT delivering:
+  // receives complete into the pending queue.  Safe mid-Send.
+  void SubmitSends();
+  // SubmitSends + wait until every in-flight send CQE has retired: on return
+  // the wire is caught up (receives again only queue).  The Flush() boundary.
+  void DrainSends();
+  size_t inflight_sends() const { return inflight_sends_; }
+
+  // Delivers queued receives, then reaps the completion ring, delivering new
+  // receives as they are consumed.  Returns logical datagrams delivered.
+  size_t ReapAndDeliver();
+  // Delivers only the already-queued receives (Release/Detach path).
+  size_t DeliverPending();
+
+  // Blocks until at least one CQE is available or `timeout_ns` passes
+  // (io_uring_enter GETEVENTS + EXT_ARG timeout).  Returns immediately when
+  // completions or queued receives are already pending.  Consumes nothing.
+  void WaitCompletions(uint64_t timeout_ns);
+
+ private:
+  struct SendSlot;
+  struct SocketRec;
+  struct Staged;
+  struct PendingRecv;
+
+  bool SetupRing();
+  void TeardownRing();
+  // Queues `bid` for (re-)provisioning with a fresh pool chunk.
+  void QueueProvide(uint16_t bid);
+  // Emits one PROVIDE_BUFFERS SQE per queued bid (does not submit).
+  void FlushProvides();
+
+  void* GetSqe();                      // Next free SQE (flushes if full).
+  int Enter(unsigned to_submit, unsigned min_complete, unsigned flags,
+            const void* arg, size_t argsz);
+  int SubmitQueued(unsigned min_complete = 0, bool getevents = false);
+  size_t ProcessCompletions();         // CQ → pending queue / slot retirement.
+  void HandleRecvCqe(size_t sock_index, int res, uint32_t flags);
+  void RearmPending();                 // Re-arm multishot recvs that stopped.
+  void ArmRecv(size_t sock_index);
+  void ArmWakerPoll();
+
+  void PushSendSqe(uint32_t slot_index);
+  uint32_t AcquireSlot();              // Blocks on completions if exhausted.
+  void BuildPlainSlot(SendSlot& slot, const Staged& s);
+  void BuildGsoSlot(SendSlot& slot, const Staged* run, size_t count);
+
+  BufferPool* pool_;
+  NetworkStats* stats_;
+  Options opts_;
+  RecvFn deliver_;
+
+  int ring_fd_ = -1;
+  // Ring geometry + mapped pointers (raw mmap; see udp_uring.cc).
+  void* sq_ring_ = nullptr;
+  size_t sq_ring_sz_ = 0;
+  void* cq_ring_ = nullptr;  // Equal to sq_ring_ with FEAT_SINGLE_MMAP.
+  size_t cq_ring_sz_ = 0;
+  void* sqes_ = nullptr;
+  size_t sqes_sz_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned* sq_flags_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  void* cqes_ = nullptr;
+  unsigned sq_entries_ = 0;
+  unsigned cq_entries_ = 0;
+  unsigned sqes_queued_ = 0;   // Prepared but not yet submitted.
+
+  // Provided-buffer group 0: bid → the pool chunk the kernel may write next.
+  std::vector<Bytes> ring_bufs_;
+  std::vector<uint16_t> need_provide_;  // Consumed bids awaiting re-provision.
+
+  std::vector<SocketRec> sockets_;     // Index is the recv user_data payload.
+  std::map<int, size_t> sock_by_fd_;
+  int waker_fd_ = -1;
+  bool waker_armed_ = false;
+
+  std::vector<SendSlot> slots_;
+  std::vector<uint32_t> free_slots_;
+  size_t inflight_sends_ = 0;
+
+  std::vector<Staged> staged_;
+  // FIFO of received-but-undelivered datagrams (vector + head index: vector
+  // tolerates the incomplete element type, deque does not).
+  std::vector<PendingRecv> pending_;
+  size_t pending_head_ = 0;
+  bool delivering_ = false;            // Re-entrancy guard for ReapAndDeliver.
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_NET_UDP_URING_H_

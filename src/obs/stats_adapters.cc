@@ -22,6 +22,16 @@ void RegisterNetworkStats(MetricsRegistry& reg, const NetworkStats* s) {
   reg.Counter("net.max_send_batch", &s->max_send_batch, Agg::kMax);
   reg.Counter("net.packed_datagrams", &s->packed_datagrams);
   reg.Counter("net.packed_submsgs", &s->packed_submsgs);
+  reg.Counter("net.uring_enters", &s->uring_enters);
+  reg.Counter("net.uring_sqes", &s->uring_sqes);
+  reg.Counter("net.uring_sqe_batches", &s->uring_sqe_batches);
+  reg.Counter("net.uring_cqes", &s->uring_cqes);
+  reg.Counter("net.uring_cqe_batches", &s->uring_cqe_batches);
+  reg.Counter("net.gso_sends", &s->gso_sends);
+  reg.Counter("net.gso_segments", &s->gso_segments);
+  reg.Counter("net.gro_recvs", &s->gro_recvs);
+  reg.Counter("net.gro_segments", &s->gro_segments);
+  reg.Counter("net.bufring_refills", &s->bufring_refills);
 }
 
 void RegisterRingStats(MetricsRegistry& reg, const MpscRingStats* s) {

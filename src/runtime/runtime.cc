@@ -204,7 +204,7 @@ ShardRuntime::ShardRuntime(ShardRuntimeConfig config) : config_(std::move(config
                                                      static_cast<uint16_t>(s));
     if (config_.backend == ShardBackend::kUdp) {
       worker->udp = std::make_unique<UdpNetwork>();
-      worker->udp->set_batch_config(config_.batch);
+      worker->udp->set_backend_config(config_.net);
       worker->net = worker->udp.get();
     } else {
       worker->chan = std::make_unique<ChannelNetwork>(this, s);
@@ -321,6 +321,8 @@ void ShardRuntime::RegisterMetrics() {
   metrics_.Counter("sched.steals", &steals_completed_);
   metrics_.Counter("sched.steal_requests", &steal_requests_);
   metrics_.Counter("sched.credit_parks", &credit_parks_);
+  metrics_.HistogramSource("sched.delivery_latency_ns", &delivery_latency_);
+  metrics_.HistogramSource("sched.steal_duration_ns", &steal_duration_);
   for (const auto& member : members_) {
     RegisterEndpointStats(metrics_, &member->stats());
   }
@@ -498,6 +500,7 @@ bool ShardRuntime::AcquireCredit(int dst, int src) {
 void ShardRuntime::PostMsg(int shard, ShardMsg msg) {
   Worker& w = *workers_[static_cast<size_t>(shard)];
   msg.src = CurrentLinkIndex();
+  msg.post_ns = NowNanos();
   if (joined_) {
     // Post-join sweep, single-threaded: bypass credits (shutdown drops may
     // have skewed them) and drain the destination inline if its ring is full.
@@ -601,6 +604,10 @@ bool ShardRuntime::HandleOrphanPacket(int shard, const Packet& packet) {
 
 void ShardRuntime::ProcessMsg(int shard, ShardMsg msg) {
   Worker& w = *workers_[static_cast<size_t>(shard)];
+  if (msg.post_ns != 0) {
+    delivery_latency_.Observe(NowNanos() - msg.post_ns);
+    msg.post_ns = 0;  // A re-route (below) restamps rather than double-counts.
+  }
   if (msg.is_packet) {
     if (w.chan != nullptr) {  // UDP rings carry tasks only.
       w.chan->DeliverFromRing(msg.packet);
@@ -889,6 +896,7 @@ void ShardRuntime::StartHandoff(int shard, int member, int thief, bool from_stea
     return;  // Already there, or a handoff for it is already in flight.
   }
   ENS_TRACE(kHandoffStart, member, static_cast<uint64_t>(thief), 0);
+  uint64_t start_ns = NowNanos();  // → sched.steal_duration_ns at FinishAdopt.
   GroupEndpoint& ep = *members_[static_cast<size_t>(member)];
   ep.BeginRebind();  // Flush staged traffic; invalidate timers on our heap.
   w.resident[static_cast<size_t>(member)] = 0;
@@ -902,8 +910,8 @@ void ShardRuntime::StartHandoff(int shard, int member, int thief, bool from_stea
     // the port as a peer here so our endpoints still reach it.
     UdpNetwork::ReleasedEndpoint state = w.udp->Release(id);
     owner_of_[static_cast<size_t>(member)].store(thief, std::memory_order_release);
-    Post(thief, [this, thief, member, state, from_steal] {
-      FinishAdopt(thief, member, {}, state, {}, from_steal);
+    Post(thief, [this, thief, member, state, from_steal, start_ns] {
+      FinishAdopt(thief, member, {}, state, {}, from_steal, start_ns);
     });
     return;
   }
@@ -915,8 +923,8 @@ void ShardRuntime::StartHandoff(int shard, int member, int thief, bool from_stea
     // rings.  Every later home-forward is posted by THIS thread after the
     // adopt — per-producer ring FIFO delivers it to the thief afterwards.
     owner_of_[static_cast<size_t>(member)].store(thief, std::memory_order_release);
-    Post(thief, [this, thief, member, state, from_steal] {
-      FinishAdopt(thief, member, state, {}, {}, from_steal);
+    Post(thief, [this, thief, member, state, from_steal, start_ns] {
+      FinishAdopt(thief, member, state, {}, {}, from_steal, start_ns);
     });
     return;
   }
@@ -928,6 +936,7 @@ void ShardRuntime::StartHandoff(int shard, int member, int thief, bool from_stea
   Migration mig;
   mig.thief = thief;
   mig.from_steal = from_steal;
+  mig.start_ns = start_ns;
   mig.chan = std::move(state);
   w.migrations[member] = std::move(mig);
   int victim = shard;
@@ -946,14 +955,15 @@ void ShardRuntime::CompleteMarker(int shard, int member) {
   int thief = mig.thief;
   ENS_TRACE(kHandoffMarker, member, static_cast<uint64_t>(thief), mig.backlog.size());
   Post(thief, [this, thief, member, chan = std::move(mig.chan),
-               backlog = std::move(mig.backlog), from_steal = mig.from_steal] {
-    FinishAdopt(thief, member, chan, {}, backlog, from_steal);
+               backlog = std::move(mig.backlog), from_steal = mig.from_steal,
+               start_ns = mig.start_ns] {
+    FinishAdopt(thief, member, chan, {}, backlog, from_steal, start_ns);
   });
 }
 
 void ShardRuntime::FinishAdopt(int shard, int member, ChannelNetwork::ReleasedEndpoint chan,
                                UdpNetwork::ReleasedEndpoint udp, std::deque<Packet> backlog,
-                               bool from_steal) {
+                               bool from_steal, uint64_t start_ns) {
   Worker& w = *workers_[static_cast<size_t>(shard)];
   EndpointId id = all_ids_[static_cast<size_t>(member)];
   std::deque<Packet> swept = std::move(chan.queued);
@@ -990,6 +1000,9 @@ void ShardRuntime::FinishAdopt(int shard, int member, ChannelNetwork::ReleasedEn
   w.resident_count.fetch_add(1, std::memory_order_relaxed);
   w.stats.steals_in++;
   steals_completed_++;
+  if (start_ns != 0) {
+    steal_duration_.Observe(NowNanos() - start_ns);
+  }
   ENS_TRACE(kAdopt, member, static_cast<uint64_t>(shard), backlog.size());
   if (from_steal) {
     steal_inflight_.store(false, std::memory_order_release);

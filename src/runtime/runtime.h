@@ -111,7 +111,7 @@ struct ShardRuntimeConfig {
   EndpointConfig ep;
   // Optional per-member mode override (same convention as HarnessConfig).
   std::vector<StackMode> member_modes;
-  UdpBatchConfig batch;          // UDP backend batching knobs.
+  NetBackendConfig net;          // UDP datapath backend + batching knobs.
   size_t ring_capacity = 4096;   // Per-worker cross-shard inbox slots.
   VTime poll_slice = Millis(5);  // Max idle block per worker loop iteration.
   StealConfig steal;             // Adaptive rebalancing (default off).
@@ -151,6 +151,7 @@ struct ShardMsg {
   int member = -1;    // >= 0: member_task target.
   int src = -1;       // Producing link index (worker id, or W = external).
   bool is_packet = false;
+  uint64_t post_ns = 0;  // PostMsg stamp → sched.delivery_latency_ns.
 };
 
 // Scheduler-level observability (aggregated over shards).
@@ -348,6 +349,7 @@ class ShardRuntime {
   struct Migration {
     int thief = -1;
     bool from_steal = false;  // Clears steal_inflight_ when adopted.
+    uint64_t start_ns = 0;    // StartHandoff stamp → sched.steal_duration_ns.
     ChannelNetwork::ReleasedEndpoint chan;
     std::deque<Packet> backlog;
   };
@@ -390,7 +392,7 @@ class ShardRuntime {
   void StartHandoff(int shard, int member, int thief, bool from_steal);
   void FinishAdopt(int shard, int member, ChannelNetwork::ReleasedEndpoint chan,
                    UdpNetwork::ReleasedEndpoint udp, std::deque<Packet> backlog,
-                   bool from_steal);
+                   bool from_steal, uint64_t start_ns);
   void CompleteMarker(int shard, int member);
 
   void WakeWorker(int shard);
@@ -425,6 +427,11 @@ class ShardRuntime {
   RelaxedCounter steals_completed_;
   RelaxedCounter steal_requests_;
   RelaxedCounter credit_parks_;
+  // Hot-path distributions (Observe is three relaxed increments; the one
+  // NowNanos stamp per cross-shard message is noise next to the ring+wakeup
+  // cost, so these stay inside the tracing-off budget).
+  obs::LatencyHistogram delivery_latency_;  // Ring post → ProcessMsg, ns.
+  obs::LatencyHistogram steal_duration_;    // StartHandoff → FinishAdopt, ns.
 
   std::atomic<bool> stop_{false};
   bool started_ = false;

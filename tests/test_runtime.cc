@@ -15,6 +15,7 @@
 
 #include "src/app/harness.h"
 #include "src/net/udp.h"
+#include "src/net/udp_uring.h"
 #include "src/runtime/runtime.h"
 
 namespace ensemble {
@@ -200,7 +201,7 @@ TEST(ShardRuntimeTest, UdpBackendWithBatchingAndPacking) {
   config.ep = FastEndpointConfig();
   config.ep.pack_messages = true;
   config.ep.pack_window = 8;
-  config.batch = UdpBatchConfig::Batched(16);
+  config.net = NetBackendConfig::Batched(16);
 
   ShardRuntime rt(config);
   constexpr int kMembers = 4;
@@ -218,6 +219,77 @@ TEST(ShardRuntimeTest, UdpBackendWithBatchingAndPacking) {
   bool done = WaitUntil([&] { return rt.total_delivered() >= want; }, 10000);
   rt.Stop();
   EXPECT_TRUE(done) << "delivered " << rt.total_delivered() << " of " << want;
+}
+
+// Same sharded workload, io_uring datapath: every worker's UdpNetwork runs
+// the ring engine (multishot recv + batched GSO sends), cross-shard traffic
+// flows entirely through io_uring_enter, and the packed casts still land.
+TEST(ShardRuntimeTest, UdpBackendOverUringRings) {
+  if (!UdpAvailable() || !UringEngine::Available()) {
+    GTEST_SKIP() << "no io_uring in this environment";
+  }
+  ShardRuntimeConfig config;
+  config.backend = ShardBackend::kUdp;
+  config.num_workers = 2;
+  config.ep = FastEndpointConfig();
+  config.ep.pack_messages = true;
+  config.ep.pack_window = 8;
+  config.net = NetBackendConfig::Uring(16);
+
+  ShardRuntime rt(config);
+  constexpr int kMembers = 4;
+  constexpr int kCasts = 10;
+  ASSERT_TRUE(rt.Build(kMembers));
+  rt.Start();
+  for (int i = 0; i < kMembers; i++) {
+    for (int c = 0; c < kCasts; c++) {
+      rt.PostToMember(i, [](GroupEndpoint& ep) {
+        ep.Cast(Iovec(Bytes::CopyString("burst")));
+      });
+    }
+  }
+  const uint64_t want = static_cast<uint64_t>(kMembers) * (kMembers - 1) * kCasts;
+  bool done = WaitUntil([&] { return rt.total_delivered() >= want; }, 10000);
+  rt.Stop();
+  EXPECT_TRUE(done) << "delivered " << rt.total_delivered() << " of " << want;
+  const NetworkStats& net = rt.AggregateNetStats();
+  EXPECT_GT(net.uring_enters.value(), 0u);
+  EXPECT_GT(net.uring_sqes.value(), 0u);
+  EXPECT_EQ(net.send_syscalls.value(), 0u);  // No sendmsg/sendmmsg ran.
+  EXPECT_EQ(net.dropped.value(), 0u);
+}
+
+// The scheduler histograms fill from the hot path: every cross-shard message
+// observes into sched.delivery_latency_ns, every completed handoff into
+// sched.steal_duration_ns.
+TEST(ShardRuntimeTest, SchedHistogramsFillFromHotPath) {
+  ShardRuntimeConfig config;
+  config.backend = ShardBackend::kChannel;
+  config.num_workers = 2;
+  config.ep = FastEndpointConfig();
+
+  ShardRuntime rt(config);
+  ASSERT_TRUE(rt.Build(4));
+  rt.Start();
+  for (int i = 0; i < 4; i++) {
+    rt.PostToMember(i, [](GroupEndpoint& ep) {
+      ep.Cast(Iovec(Bytes::CopyString("ping")));
+    });
+  }
+  ASSERT_TRUE(WaitUntil([&] { return rt.total_delivered() >= 12u; }, 5000));
+  rt.MigrateMember(0, 1);
+  ASSERT_TRUE(WaitUntil([&] { return rt.ShardOf(0) == 1; }, 5000));
+  rt.Stop();
+
+  obs::MetricsSnapshot snap = rt.metrics().Snapshot();
+  const obs::Sample* latency = snap.Find("sched.delivery_latency_ns");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GT(latency->count, 0u);
+  EXPECT_GT(latency->sum, 0u);
+  const obs::Sample* steal = snap.Find("sched.steal_duration_ns");
+  ASSERT_NE(steal, nullptr);
+  EXPECT_EQ(steal->count, rt.SchedStats().steals);
+  EXPECT_GT(steal->sum, 0u);
 }
 
 // ---- Adaptive scheduler: handoff, stealing, credits ------------------------
@@ -528,7 +600,7 @@ TEST(GroupHarnessShardedTest, RunShardedHonorsSchedulerOptions) {
   config.ep = FastEndpointConfig();
   GroupHarness harness(config);
   GroupHarness::ShardedRunOptions options;
-  options.batch = UdpBatchConfig::Batched(8);
+  options.net = NetBackendConfig::Batched(8);
   options.pin_cores = true;
   options.initial_shard = {0, 0, 1, 1};
   auto result = harness.RunSharded(/*num_workers=*/2, /*casts_per_member=*/3,

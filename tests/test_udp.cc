@@ -5,6 +5,7 @@
 #include "src/app/endpoint.h"
 #include "src/app/harness.h"
 #include "src/net/udp.h"
+#include "src/net/udp_uring.h"
 
 namespace ensemble {
 namespace {
@@ -14,6 +15,11 @@ bool UdpAvailable() {
   probe.Attach(EndpointId{1}, [](const Packet&) {});
   return probe.ok();
 }
+
+// True when the io_uring backend can actually run here (kernel support and
+// not compiled out).  Tests that need the real rings skip otherwise; the
+// fallback test runs everywhere.
+bool UringAvailable() { return UdpAvailable() && UringEngine::Available(); }
 
 TEST(UdpNetworkTest, RawSendReceive) {
   if (!UdpAvailable()) {
@@ -91,7 +97,7 @@ TEST(UdpNetworkTest, BatchedSendsStageUntilFlush) {
     GTEST_SKIP() << "no UDP sockets in this environment";
   }
   UdpNetwork net;
-  net.set_batch_config(UdpBatchConfig::Batched(64));
+  net.set_backend_config(NetBackendConfig::Batched(64));
   std::vector<std::string> received;
   net.Attach(EndpointId{1}, [](const Packet&) {});
   net.Attach(EndpointId{2}, [&](const Packet& p) {
@@ -121,7 +127,7 @@ TEST(UdpNetworkTest, BatchedRingAutoFlushesAtThreshold) {
     GTEST_SKIP() << "no UDP sockets in this environment";
   }
   UdpNetwork net;
-  net.set_batch_config(UdpBatchConfig::Batched(4));
+  net.set_backend_config(NetBackendConfig::Batched(4));
   size_t got = 0;
   net.Attach(EndpointId{1}, [](const Packet&) {});
   net.Attach(EndpointId{2}, [&](const Packet&) { got++; });
@@ -138,7 +144,7 @@ TEST(UdpNetworkTest, PooledReceiveReusesChunksAndPreservesPayload) {
     GTEST_SKIP() << "no UDP sockets in this environment";
   }
   UdpNetwork net;
-  net.set_batch_config(UdpBatchConfig::Batched(8));
+  net.set_backend_config(NetBackendConfig::Batched(8));
   std::vector<std::string> received;
   net.Attach(EndpointId{1}, [](const Packet&) {});
   net.Attach(EndpointId{2}, [&](const Packet& p) {
@@ -210,7 +216,7 @@ TEST(UdpGroupTest, PackedBatchedMachGroupOverRealSockets) {
   // staging ring, and the receiver unpacks out of pooled recvmmsg buffers
   // back through the compressed fast path.
   UdpNetwork net;
-  net.set_batch_config(UdpBatchConfig::Batched(16));
+  net.set_backend_config(NetBackendConfig::Batched(16));
   EndpointConfig config;
   config.mode = StackMode::kMachine;
   config.layers = TenLayerStack();
@@ -330,6 +336,229 @@ TEST(UdpGroupTest, Pt2ptSendsOverRealSockets) {
   a.Send(1, Iovec(Bytes::CopyString("direct")));
   net.PollFor(Millis(50));
   EXPECT_EQ(got, "direct");
+}
+
+// ---- io_uring backend ------------------------------------------------------
+
+TEST(UdpUringTest, RoundTripWithScatterGather) {
+  if (!UringAvailable()) {
+    GTEST_SKIP() << "io_uring unavailable (kernel/seccomp or compiled out)";
+  }
+  UdpNetwork net;
+  net.set_backend_config(NetBackendConfig::Uring(16));
+  ASSERT_EQ(net.active_backend(), NetBackend::kUring);
+  std::vector<std::pair<uint64_t, std::string>> received;
+  net.Attach(EndpointId{1}, [&](const Packet& p) {
+    received.push_back({p.src.id, p.datagram.ToString()});
+  });
+  net.Attach(EndpointId{2}, [&](const Packet& p) {
+    received.push_back({p.src.id, p.datagram.ToString()});
+  });
+  ASSERT_TRUE(net.ok());
+  Iovec gather;
+  gather.Append(Bytes::CopyString("ring-"));
+  gather.Append(Bytes::CopyString("gathered"));
+  net.Send(EndpointId{1}, EndpointId{2}, gather);
+  net.Flush();
+  EXPECT_EQ(net.stats().sent, 1u);  // Flush waited for the send CQE.
+  net.PollFor(Millis(50));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].first, 1u);  // Source attributed via port map.
+  EXPECT_EQ(received[0].second, "ring-gathered");
+  EXPECT_GT(net.stats().uring_enters, 0u);
+  EXPECT_GT(net.stats().uring_sqes, 0u);
+  EXPECT_GT(net.stats().uring_cqes, 0u);
+  // No classic datapath syscalls at all: the rings carried everything.
+  EXPECT_EQ(net.stats().send_syscalls, 0u);
+  EXPECT_EQ(net.stats().recv_syscalls, 0u);
+}
+
+TEST(UdpUringTest, StagesUntilFlushLikeMmsg) {
+  if (!UringAvailable()) {
+    GTEST_SKIP() << "io_uring unavailable (kernel/seccomp or compiled out)";
+  }
+  UdpNetwork net;
+  net.set_backend_config(NetBackendConfig::Uring(64));
+  std::vector<std::string> received;
+  net.Attach(EndpointId{1}, [](const Packet&) {});
+  net.Attach(EndpointId{2}, [&](const Packet& p) {
+    received.push_back(p.datagram.ToString());
+  });
+  for (int i = 0; i < 5; i++) {
+    net.Send(EndpointId{1}, EndpointId{2},
+             Iovec(Bytes::CopyString("u-" + std::to_string(i))));
+  }
+  // Below the 64-datagram threshold: nothing submitted yet.
+  EXPECT_EQ(net.stats().sent, 0u);
+  net.Flush();
+  EXPECT_EQ(net.stats().sent, 5u);
+  net.PollFor(Millis(50));
+  ASSERT_EQ(received.size(), 5u);
+  for (int i = 0; i < 5; i++) {
+    EXPECT_EQ(received[static_cast<size_t>(i)], "u-" + std::to_string(i));
+  }
+  EXPECT_EQ(net.stats().batched_datagrams, 5u);
+}
+
+TEST(UdpUringTest, GsoCoalescesEqualSizeRuns) {
+  if (!UringAvailable()) {
+    GTEST_SKIP() << "io_uring unavailable (kernel/seccomp or compiled out)";
+  }
+  UdpNetwork net;
+  net.set_backend_config(NetBackendConfig::Uring(64));
+  ASSERT_EQ(net.active_backend(), NetBackend::kUring);
+  std::vector<std::string> received;
+  net.Attach(EndpointId{1}, [](const Packet&) {});
+  net.Attach(EndpointId{2}, [&](const Packet& p) {
+    received.push_back(p.datagram.ToString());
+  });
+  // 16 equal-size datagrams to one destination: one GSO super-datagram.
+  for (int i = 0; i < 16; i++) {
+    char tag = static_cast<char>('a' + i);
+    net.Send(EndpointId{1}, EndpointId{2},
+             Iovec(Bytes::CopyString(std::string(64, tag))));
+  }
+  net.Flush();
+  EXPECT_EQ(net.stats().sent, 16u);
+  for (int spins = 0; spins < 100000 && received.size() < 16; spins++) {
+    net.Poll();
+  }
+  ASSERT_EQ(received.size(), 16u);
+  for (int i = 0; i < 16; i++) {
+    EXPECT_EQ(received[static_cast<size_t>(i)],
+              std::string(64, static_cast<char>('a' + i)));
+  }
+  EXPECT_GT(net.stats().gso_sends, 0u);
+  EXPECT_EQ(net.stats().gso_segments, 16u);
+  // Segment boundaries survive the trip even when GRO re-coalesces them.
+  EXPECT_GT(net.stats().bufring_refills, 0u);
+}
+
+TEST(UdpUringTest, TimersAndIdleWaitStillFire) {
+  if (!UringAvailable()) {
+    GTEST_SKIP() << "io_uring unavailable (kernel/seccomp or compiled out)";
+  }
+  UdpNetwork net;
+  net.set_backend_config(NetBackendConfig::Uring(16));
+  net.Attach(EndpointId{1}, [](const Packet&) {});
+  int fired = 0;
+  net.ScheduleTimer(Millis(1), [&] { fired++; });
+  net.ScheduleTimer(Seconds(60), [&] { fired += 100; });  // Not yet.
+  net.PollFor(Millis(30));  // Sleeps in io_uring_enter, not poll(2).
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(UdpUringTest, PackedMachGroupOverUringRings) {
+  if (!UringAvailable()) {
+    GTEST_SKIP() << "io_uring unavailable (kernel/seccomp or compiled out)";
+  }
+  // The full composed hot path on the uring datapath: bypass-compiled casts →
+  // transport packing (kWirePacked) → GSO-coalesced ring submission → GRO/
+  // multishot receive into registered pool chunks → unpack → delivery.
+  UdpNetwork net;
+  net.set_backend_config(NetBackendConfig::Uring(16));
+  EndpointConfig config;
+  config.mode = StackMode::kMachine;
+  config.layers = TenLayerStack();
+  config.params.local_loopback = false;
+  config.timer_interval = Millis(2);
+  config.pack_messages = true;
+  config.pack_window = 8;
+
+  GroupEndpoint a(EndpointId{1}, &net, config);
+  GroupEndpoint b(EndpointId{2}, &net, config);
+  std::vector<std::string> delivered;
+  b.OnDeliver([&](const Event& ev) {
+    delivered.push_back(ev.payload.Flatten().ToString());
+  });
+
+  auto view = std::make_shared<View>();
+  view->vid = ViewId{0, 1};
+  view->members = {EndpointId{1}, EndpointId{2}};
+  a.Start(view);
+  b.Start(view);
+
+  for (int i = 0; i < 24; i++) {
+    a.Cast(Iovec(Bytes::CopyString("ur-" + std::to_string(i))));
+  }
+  a.Flush();
+  net.PollFor(Millis(100));
+
+  ASSERT_EQ(delivered.size(), 24u);
+  EXPECT_EQ(delivered[0], "ur-0");
+  EXPECT_EQ(delivered[23], "ur-23");
+  EXPECT_GT(net.stats().packed_datagrams, 0u);
+  EXPECT_GT(net.stats().uring_cqes, 0u);
+  EXPECT_EQ(net.stats().send_syscalls, 0u);
+}
+
+TEST(UdpUringTest, ReleaseAdoptHandsRingsAcrossNetworks) {
+  if (!UringAvailable()) {
+    GTEST_SKIP() << "io_uring unavailable (kernel/seccomp or compiled out)";
+  }
+  // Socket travel between two uring-backed networks (the shard-handoff
+  // pattern): the multishot recv is cancelled on the victim, in-flight
+  // datagrams are delivered before the fd moves, and the thief re-arms it on
+  // its own ring.
+  UdpNetwork net_a;
+  UdpNetwork net_b;
+  net_a.set_backend_config(NetBackendConfig::Uring(8));
+  net_b.set_backend_config(NetBackendConfig::Uring(8));
+  std::vector<std::string> got;
+  net_a.Attach(EndpointId{1}, [](const Packet&) {});
+  net_a.Attach(EndpointId{2},
+               [&](const Packet& p) { got.push_back(p.datagram.ToString()); });
+
+  net_a.Send(EndpointId{1}, EndpointId{2}, Iovec(Bytes::CopyString("before")));
+  net_a.Flush();
+  net_a.PollFor(Millis(50));
+  ASSERT_EQ(got.size(), 1u);
+
+  auto released = net_a.Release(EndpointId{2});
+  ASSERT_TRUE(released.ok());
+  net_b.Adopt(EndpointId{2}, std::move(released));
+  net_b.SetDrainHook(EndpointId{2}, nullptr);
+
+  // Sender still on net_a reaches the endpoint now owned by net_b's rings.
+  net_a.Send(EndpointId{1}, EndpointId{2}, Iovec(Bytes::CopyString("after")));
+  net_a.Flush();
+  for (int spins = 0; spins < 100000 && got.size() < 2; spins++) {
+    net_b.Poll();
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[1], "after");
+}
+
+TEST(UdpUringTest, FallsBackToMmsgWhenUnavailable) {
+  if (!UdpAvailable()) {
+    GTEST_SKIP() << "no UDP sockets in this environment";
+  }
+  // Force the probe to fail: a kUring request must silently become mmsg (one
+  // LogUnsupportedOnce line) and the datapath must work unchanged.  In the
+  // ENSEMBLE_URING=OFF build Available() is already false and the force is
+  // redundant — the same assertions hold.
+  UringEngine::ForceAvailabilityForTest(0);
+  UdpNetwork net;
+  net.set_backend_config(NetBackendConfig::Uring(16));
+  EXPECT_EQ(net.active_backend(), NetBackend::kMmsg);
+  std::string got;
+  net.Attach(EndpointId{1}, [](const Packet&) {});
+  net.Attach(EndpointId{2}, [&](const Packet& p) { got = p.datagram.ToString(); });
+  net.Send(EndpointId{1}, EndpointId{2}, Iovec(Bytes::CopyString("fallback")));
+  net.Flush();
+  net.PollFor(Millis(50));
+  EXPECT_EQ(got, "fallback");
+  EXPECT_EQ(net.stats().uring_enters, 0u);
+#if defined(__linux__)
+  EXPECT_GT(net.stats().send_syscalls, 0u);  // Classic path carried it.
+#endif
+  UringEngine::ForceAvailabilityForTest(-1);
+
+  // kAuto resolves without logging: uring when possible, mmsg otherwise.
+  UdpNetwork auto_net;
+  auto_net.set_backend_config(NetBackendConfig::Auto(16));
+  EXPECT_NE(auto_net.active_backend(), NetBackend::kAuto);
+  EXPECT_NE(auto_net.active_backend(), NetBackend::kEager);
 }
 
 }  // namespace
