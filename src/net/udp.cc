@@ -79,15 +79,7 @@ void UdpNetwork::ResolveBackend() {
     want = NetBackend::kMmsg;
   }
   if (want != NetBackend::kUring && engine_) {
-    // Leaving uring: catch the wire up, deliver what the ring already pulled
-    // in, and strip GRO so the mmsg/eager drains see plain datagrams again.
-    engine_->DrainSends();
-    engine_->ReapAndDeliver();
-    engine_.reset();
-    for (auto& [ep, state] : endpoints_) {
-      int zero = 0;
-      setsockopt(state.fd, SOL_UDP, UDP_GRO, &zero, sizeof(zero));
-    }
+    ShutdownUring(want);
   }
   if (want == NetBackend::kUring && !engine_) {
     UringEngine::Options opts;
@@ -124,6 +116,25 @@ void UdpNetwork::ResolveBackend() {
     }
   }
   active_ = want;
+}
+
+void UdpNetwork::ShutdownUring(NetBackend to) {
+  // New sends from deliver callbacks firing during the quiesce go to the
+  // successor backend's staging, not the dying engine.
+  active_ = to;
+  engine_->DrainSends();
+  // Cancel each armed multishot recv and wait for it to terminate before the
+  // ring closes — otherwise a datagram the ring pulls into a provided buffer
+  // between the final reap and close(ring_fd) is silently dropped.
+  for (auto& [ep, state] : endpoints_) {
+    engine_->RemoveSocket(state.fd);
+  }
+  engine_->ReapAndDeliver();  // Endpoints are still attached: deliver it all.
+  engine_.reset();
+  for (auto& [ep, state] : endpoints_) {
+    int zero = 0;
+    setsockopt(state.fd, SOL_UDP, UDP_GRO, &zero, sizeof(zero));
+  }
 }
 
 void UdpNetwork::UringQuiesce(int fd) {
@@ -562,7 +573,14 @@ size_t UdpNetwork::DrainOneBatched(Endpoint& state, EndpointId ep) {
 
 size_t UdpNetwork::DrainSockets() {
   if (active_ == NetBackend::kUring) {
-    return engine_->ReapAndDeliver();
+    if (!engine_->recv_broken()) {
+      return engine_->ReapAndDeliver();
+    }
+    // A multishot recv died with a terminal error (kernel accepted the ring
+    // but not IORING_RECV_MULTISHOT, say): the uring receive path is dead, so
+    // fall back to mmsg instead of spinning on re-arms that never deliver.
+    LogUnsupportedOnce("io_uring multishot recv (falling back to mmsg)");
+    ShutdownUring(NetBackend::kMmsg);
   }
   size_t events = 0;
   for (auto& [ep, state] : endpoints_) {

@@ -226,6 +226,11 @@ class UdpNetwork : public Network {
   // Quiesces `fd` on the engine and delivers anything it had already pulled
   // off the wire (Detach/Release path; endpoint must still be attached).
   void UringQuiesce(int fd);
+  // Full engine teardown: cancels every armed recv, delivers everything the
+  // ring already pulled in, resets the engine, and strips GRO so the
+  // mmsg/eager drains see plain datagrams again.  `to` is the backend taking
+  // over (assigned to active_ so deliveries during the quiesce route sanely).
+  void ShutdownUring(NetBackend to);
 
   bool ok_ = true;
   NetBackendConfig cfg_;

@@ -152,11 +152,24 @@ bool UringEngine::Available() {
     if (fd < 0) {
       return false;
     }
+    // The datapath needs EXT_ARG timed waits (5.11+) plus multishot RECVMSG
+    // (6.0+).  FEAT_EXT_ARG alone passes on 5.11-5.19 kernels where every
+    // multishot recv SQE would -EINVAL, so also ask the opcode probe for
+    // IORING_OP_SEND_ZC — it landed in the same release as
+    // IORING_RECV_MULTISHOT and, unlike a request flag, is probeable.
+    bool ok = (p.features & IORING_FEAT_EXT_ARG) != 0;
+    if (ok) {
+      constexpr unsigned kProbeOps = IORING_OP_SEND_ZC + 1;
+      alignas(io_uring_probe) uint8_t
+          buf[sizeof(io_uring_probe) + kProbeOps * sizeof(io_uring_probe_op)];
+      std::memset(buf, 0, sizeof(buf));
+      auto* probe = reinterpret_cast<io_uring_probe*>(buf);
+      ok = SysUringRegister(fd, IORING_REGISTER_PROBE, probe, kProbeOps) >= 0 &&
+           probe->last_op >= IORING_OP_SEND_ZC &&
+           (probe->ops[IORING_OP_SEND_ZC].flags & IO_URING_OP_SUPPORTED) != 0;
+    }
     close(fd);
-    // The datapath needs multishot recv + provided-buffer rings (5.19+) and
-    // EXT_ARG timed waits; FEAT_EXT_ARG (5.11+) is the cheapest proxy the
-    // setup call reports directly.
-    return (p.features & IORING_FEAT_EXT_ARG) != 0;
+    return ok;
   }();
   return kProbe;
 }
@@ -324,13 +337,25 @@ int UringEngine::SubmitQueued(unsigned min_complete, bool getevents) {
   if (n == 0 && !getevents) {
     return 0;
   }
-  stats_->uring_sqes += n;
-  if (n > 1) {
-    stats_->uring_sqe_batches++;
-  }
   sqes_queued_ = 0;
   unsigned flags = getevents ? IORING_ENTER_GETEVENTS : 0;
   int ret = Enter(n, min_complete, flags, nullptr, 0);
+  // EBUSY: the CQ overflow list is non-empty (FEAT_NODROP) and nothing was
+  // consumed; reap to make room and retry.  ReapCqes (not ProcessCompletions)
+  // so no re-arm SQEs are written mid-retry.
+  for (int attempt = 0; ret < 0 && errno == EBUSY && attempt < 8; attempt++) {
+    ReapCqes();
+    ret = Enter(n, min_complete, flags, nullptr, 0);
+  }
+  unsigned consumed = ret >= 0 ? std::min(static_cast<unsigned>(ret), n) : 0;
+  stats_->uring_sqes += consumed;
+  if (consumed > 1) {
+    stats_->uring_sqe_batches++;
+  }
+  // Anything the kernel did not consume stays in the ring between its sq head
+  // and our tail; restore the count so the next submit covers it — otherwise
+  // those SQEs are stranded and DrainSends waits on CQEs that never arrive.
+  sqes_queued_ += n - consumed;
   if (ret < 0) {
     ENS_LOG(kWarn) << "io_uring_enter failed: " << std::strerror(errno);
   }
@@ -350,7 +375,21 @@ bool UringEngine::AddSocket(int fd, uint64_t cookie) {
   size_t index;
   auto it = sock_by_fd_.find(fd);
   if (it != sock_by_fd_.end()) {
-    index = it->second;  // Re-adopted fd: reuse the retired slot.
+    // Double-add of a live fd: refresh the cookie but never arm a second
+    // multishot recv on the same user_data.
+    index = it->second;
+    SocketRec& live = sockets_[index];
+    live.cookie = cookie;
+    live.removed = false;
+    if (live.armed) {
+      return true;
+    }
+  } else if (!free_sock_slots_.empty()) {
+    // Reuse a retired slot (RemoveSocket waited for its recv to terminate, so
+    // no in-flight CQE still carries this index).
+    index = free_sock_slots_.back();
+    free_sock_slots_.pop_back();
+    sock_by_fd_[fd] = index;
   } else {
     index = sockets_.size();
     sockets_.emplace_back();
@@ -589,6 +628,17 @@ void UringEngine::HandleRecvCqe(size_t sock_index, int res, uint32_t flags) {
     // -ECANCELED: RemoveSocket's cancel landed.
     if (res == -ECANCELED) {
       rec.want_rearm = false;
+    } else if (res != -ENOBUFS) {
+      // Any other error is terminal for this arm (e.g. -EINVAL from a kernel
+      // without IORING_RECV_MULTISHOT that slipped past the setup probes).
+      // Re-arming would spin forever on the same error, so stop and flag the
+      // engine; the owner falls back to the mmsg backend.
+      rec.want_rearm = false;
+      if (!recv_broken_) {
+        recv_broken_ = true;
+        ENS_LOG(kWarn) << "io_uring multishot recv failed terminally: "
+                       << std::strerror(-res);
+      }
     }
     return;
   }
@@ -631,7 +681,18 @@ void UringEngine::HandleRecvCqe(size_t sock_index, int res, uint32_t flags) {
       remaining -= step;
     }
   }
+  // The recvmsg_out header + name + control eat into the provided chunk, so a
+  // near-max datagram (or a GRO train coalesced close to chunk_size) can be
+  // truncated: the kernel sets MSG_TRUNC and payloadlen may exceed the bytes
+  // actually written.  Clamp before slicing, and drop the truncated datagram
+  // outright — a partial tail would corrupt packed-stream framing downstream.
   size_t payload_len = out->payloadlen;
+  size_t avail = chunk.size() > header ? chunk.size() - header : 0;
+  if ((out->flags & MSG_TRUNC) != 0 || payload_len > avail) {
+    stats_->dropped++;
+    QueueProvide(bid);
+    return;
+  }
   size_t offset = header;
   // Split a GRO train into logical datagrams; a plain receive is the
   // degenerate single-segment case.
@@ -656,7 +717,7 @@ void UringEngine::HandleRecvCqe(size_t sock_index, int res, uint32_t flags) {
   QueueProvide(bid);
 }
 
-size_t UringEngine::ProcessCompletions() {
+size_t UringEngine::ReapCqes() {
   size_t handled = 0;
   for (;;) {
     unsigned head = *cq_head_;
@@ -711,6 +772,11 @@ size_t UringEngine::ProcessCompletions() {
       }
     }
   }
+  return handled;
+}
+
+size_t UringEngine::ProcessCompletions() {
+  size_t handled = ReapCqes();
   RearmPending();
   return handled;
 }
@@ -800,6 +866,9 @@ void UringEngine::RemoveSocket(int fd) {
   }
   rec.fd = -1;
   sock_by_fd_.erase(it);
+  // The recv terminated (or was never armed), so nothing in flight references
+  // this index; a later AddSocket may claim it.
+  free_sock_slots_.push_back(index);
 }
 
 }  // namespace ensemble

@@ -93,6 +93,11 @@ class UringEngine {
   // failure; the engine is then inert and the caller should fall back.
   bool Init(RecvFn deliver);
   bool ok() const { return ring_fd_ >= 0; }
+  // True once a multishot recv terminated with an unexpected error (e.g.
+  // -EINVAL from a kernel whose io_uring lacks IORING_RECV_MULTISHOT but
+  // passed the setup-time probes).  The engine stops re-arming receives; the
+  // owner should quiesce and fall back to the mmsg backend.
+  bool recv_broken() const { return recv_broken_; }
 
   // Arms a multishot receive for `fd`; `cookie` tags its deliveries (the
   // attach-time endpoint id).  Sets UDP_GRO on the socket when enabled.
@@ -147,7 +152,8 @@ class UringEngine {
   int Enter(unsigned to_submit, unsigned min_complete, unsigned flags,
             const void* arg, size_t argsz);
   int SubmitQueued(unsigned min_complete = 0, bool getevents = false);
-  size_t ProcessCompletions();         // CQ → pending queue / slot retirement.
+  size_t ReapCqes();                   // CQ → pending queue / slot retirement.
+  size_t ProcessCompletions();         // ReapCqes + re-arm stopped recvs.
   void HandleRecvCqe(size_t sock_index, int res, uint32_t flags);
   void RearmPending();                 // Re-arm multishot recvs that stopped.
   void ArmRecv(size_t sock_index);
@@ -189,9 +195,11 @@ class UringEngine {
   std::vector<uint16_t> need_provide_;  // Consumed bids awaiting re-provision.
 
   std::vector<SocketRec> sockets_;     // Index is the recv user_data payload.
+  std::vector<size_t> free_sock_slots_;  // Retired indices awaiting reuse.
   std::map<int, size_t> sock_by_fd_;
   int waker_fd_ = -1;
   bool waker_armed_ = false;
+  bool recv_broken_ = false;           // See recv_broken().
 
   std::vector<SendSlot> slots_;
   std::vector<uint32_t> free_slots_;

@@ -529,6 +529,73 @@ TEST(UdpUringTest, ReleaseAdoptHandsRingsAcrossNetworks) {
   EXPECT_EQ(got[1], "after");
 }
 
+TEST(UdpUringTest, ReleaseAdoptChurnReusesRingSlots) {
+  if (!UringAvailable()) {
+    GTEST_SKIP() << "io_uring unavailable (kernel/seccomp or compiled out)";
+  }
+  // Steal-heavy churn: the endpoint bounces between two uring networks many
+  // times.  Each RemoveSocket retires a ring slot and each re-Adopt must
+  // reclaim one (free-list) — and every cycle the re-armed recv must still
+  // deliver, proving no stale user_data or double-armed recv survives.
+  UdpNetwork net_a;
+  UdpNetwork net_b;
+  net_a.set_backend_config(NetBackendConfig::Uring(8));
+  net_b.set_backend_config(NetBackendConfig::Uring(8));
+  std::vector<std::string> got;
+  net_a.Attach(EndpointId{1}, [](const Packet&) {});
+  net_a.Attach(EndpointId{2},
+               [&](const Packet& p) { got.push_back(p.datagram.ToString()); });
+  UdpNetwork* owner = &net_a;
+  for (int cycle = 0; cycle < 32; cycle++) {
+    UdpNetwork* next = owner == &net_a ? &net_b : &net_a;
+    auto released = owner->Release(EndpointId{2});
+    ASSERT_TRUE(released.ok()) << "cycle " << cycle;
+    next->Adopt(EndpointId{2}, std::move(released));
+    owner = next;
+    net_a.Send(EndpointId{1}, EndpointId{2},
+               Iovec(Bytes::CopyString("c" + std::to_string(cycle))));
+    net_a.Flush();
+    size_t want = static_cast<size_t>(cycle) + 1;
+    for (int spins = 0; spins < 100000 && got.size() < want; spins++) {
+      owner->Poll();
+    }
+    ASSERT_EQ(got.size(), want) << "cycle " << cycle;
+    EXPECT_EQ(got.back(), "c" + std::to_string(cycle));
+  }
+}
+
+TEST(UdpUringTest, SwitchingBackendAwayDeliversInFlight) {
+  if (!UringAvailable()) {
+    GTEST_SKIP() << "io_uring unavailable (kernel/seccomp or compiled out)";
+  }
+  // Datagrams already sent when the config flips uring→mmsg must not be lost:
+  // whatever the ring pulled into provided buffers is delivered during the
+  // switch-away quiesce, and whatever still sits in the socket queue is
+  // drained by the successor backend (with GRO stripped).
+  UdpNetwork net;
+  net.set_backend_config(NetBackendConfig::Uring(16));
+  ASSERT_EQ(net.active_backend(), NetBackend::kUring);
+  std::vector<std::string> got;
+  net.Attach(EndpointId{1}, [](const Packet&) {});
+  net.Attach(EndpointId{2},
+             [&](const Packet& p) { got.push_back(p.datagram.ToString()); });
+  constexpr int kMsgs = 8;
+  for (int i = 0; i < kMsgs; i++) {
+    net.Send(EndpointId{1}, EndpointId{2},
+             Iovec(Bytes::CopyString("m" + std::to_string(i))));
+  }
+  net.Flush();  // On the wire; not yet polled.
+  net.set_backend_config(NetBackendConfig::Batched(16));
+  ASSERT_EQ(net.active_backend(), NetBackend::kMmsg);
+  for (int spins = 0; spins < 100000 && got.size() < kMsgs; spins++) {
+    net.Poll();
+  }
+  ASSERT_EQ(got.size(), static_cast<size_t>(kMsgs));
+  for (int i = 0; i < kMsgs; i++) {
+    EXPECT_EQ(got[i], "m" + std::to_string(i));
+  }
+}
+
 TEST(UdpUringTest, FallsBackToMmsgWhenUnavailable) {
   if (!UdpAvailable()) {
     GTEST_SKIP() << "no UDP sockets in this environment";
