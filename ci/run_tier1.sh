@@ -11,6 +11,9 @@
 #   --nouring  build a separate tree with -DENSEMBLE_URING=OFF (the io_uring
 #              backend compiled out to stubs) and run the full suite: proves
 #              the mmsg fallback carries every uring-tagged configuration.
+#   --shared   run the full suite with ENSEMBLE_INGRESS=shared, forcing every
+#              kAuto network onto the SO_REUSEPORT shard-listener ingress:
+#              proves the demux datapath carries the whole test matrix.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -41,6 +44,14 @@ if [ "${1:-}" = "--notrace" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "--shared" ]; then
+  cmake -B build -S .
+  cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
+  cd build
+  ENSEMBLE_INGRESS=shared ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+  exit 0
+fi
+
 cmake -B build -S .
 cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
 cd build
@@ -52,6 +63,21 @@ rm -f TRACE_skew.json
 ./bench/bench_skew --smoke > skew_smoke.out 2>&1 || { cat skew_smoke.out; exit 1; }
 cat skew_smoke.out
 if ! grep -q "unavailable" skew_smoke.out; then
+  test -s TRACE_skew.json
+  python3 -c "import json; json.load(open('TRACE_skew.json'))" \
+    && echo "TRACE_skew.json: valid JSON"
+fi
+# Same smoke over the shared-ingress datapath: stealing must still move
+# endpoints when migrations are in-memory transfers, and both exports must
+# stay parseable.
+rm -f BENCH_skew.json TRACE_skew.json
+./bench/bench_skew --smoke --ingress=shared > skew_shared.out 2>&1 \
+  || { cat skew_shared.out; exit 1; }
+cat skew_shared.out
+if ! grep -q "unavailable" skew_shared.out; then
+  test -s BENCH_skew.json
+  python3 -c "import json; json.load(open('BENCH_skew.json'))" \
+    && echo "BENCH_skew.json: valid JSON"
   test -s TRACE_skew.json
   python3 -c "import json; json.load(open('TRACE_skew.json'))" \
     && echo "TRACE_skew.json: valid JSON"

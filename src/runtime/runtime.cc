@@ -212,6 +212,46 @@ ShardRuntime::ShardRuntime(ShardRuntimeConfig config) : config_(std::move(config
     }
     workers_.push_back(std::move(worker));
   }
+  if (config_.backend == ShardBackend::kUdp &&
+      ResolveIngressMode(config_.net.ingress) == IngressMode::kShared) {
+    SetupSharedIngress();
+  }
+}
+
+void ShardRuntime::SetupSharedIngress() {
+  // All-or-nothing: the first worker binds port 0 and thereby picks the
+  // group's port; the rest join it.  Any failure (no SO_REUSEPORT, bind
+  // error) rolls every shard back to per-endpoint sockets so the runtime
+  // never runs half shared, half not.
+  uint16_t group_port = 0;
+  bool ok = true;
+  for (auto& worker : workers_) {
+    if (!worker->udp->EnableSharedIngress(group_port)) {
+      ok = false;
+      break;
+    }
+    if (group_port == 0) {
+      group_port = worker->udp->shared_port();
+    }
+  }
+  if (!ok) {
+    for (auto& worker : workers_) {
+      worker->udp->DisableSharedIngress();
+    }
+    return;
+  }
+  for (int s = 0; s < num_workers(); s++) {
+    Worker* w = workers_[static_cast<size_t>(s)].get();
+    // Listener-drain miss: the kernel's flow hash landed a datagram on a
+    // shard that does not (or no longer does) own its conn id.  The payload
+    // is a pool-backed receive slice that must not be released off-shard, so
+    // copy it to the heap before it rides the rings via the home shard.
+    w->udp->SetSharedMissHandler([this, s](const Packet& p) {
+      Packet copy = p;
+      copy.datagram = Bytes::Copy(p.datagram.data(), p.datagram.size());
+      return RoutePacketFrom(s, std::move(copy));
+    });
+  }
 }
 
 ShardRuntime::~ShardRuntime() { Stop(); }
@@ -600,6 +640,20 @@ bool ShardRuntime::HandleOrphanPacket(int shard, const Packet& packet) {
   return false;  // Stale routing (migration raced with shutdown): drop.
 }
 
+void ShardRuntime::DeliverUdpShared(int shard, const Packet& packet) {
+  Worker& w = *workers_[static_cast<size_t>(shard)];
+  if (w.udp->DeliverToLocal(packet)) {
+    return;
+  }
+  // Not in our demux table: mid-migration, ahead of the adoption, or stale.
+  // NOT re-routed via RoutePacketFrom — a ring packet already passed through
+  // the home shard, and bouncing it again would let it overtake forwards
+  // posted after the owner table flipped, breaking per-sender FIFO.
+  if (!HandleOrphanPacket(shard, packet)) {
+    w.udp->CountIngressDrop();  // The member left the group: counted drop.
+  }
+}
+
 // ---- Worker loop -----------------------------------------------------------
 
 void ShardRuntime::ProcessMsg(int shard, ShardMsg msg) {
@@ -609,9 +663,13 @@ void ShardRuntime::ProcessMsg(int shard, ShardMsg msg) {
     msg.post_ns = 0;  // A re-route (below) restamps rather than double-counts.
   }
   if (msg.is_packet) {
-    if (w.chan != nullptr) {  // UDP rings carry tasks only.
+    if (w.chan != nullptr) {
       w.chan->DeliverFromRing(msg.packet);
-    }
+    } else if (w.udp != nullptr && w.udp->shared_ingress()) {
+      // Shared-ingress re-route: a listener miss elsewhere sent this packet
+      // through the home shard to us (the owner).
+      DeliverUdpShared(shard, msg.packet);
+    }  // Per-endpoint UDP rings carry tasks only.
     return;
   }
   if (msg.member >= 0) {
@@ -904,14 +962,44 @@ void ShardRuntime::StartHandoff(int shard, int member, int thief, bool from_stea
   w.stats.steals_out++;
   EndpointId id = all_ids_[static_cast<size_t>(member)];
 
-  if (w.udp != nullptr) {
-    // The socket (with its kernel receive queue) travels with the endpoint:
-    // in-flight datagrams are neither lost nor reordered, and Release keeps
-    // the port as a peer here so our endpoints still reach it.
+  if (w.udp != nullptr && !w.udp->shared_ingress()) {
+    // Per-endpoint mode: the socket (with its kernel receive queue) travels
+    // with the endpoint — in-flight datagrams are neither lost nor reordered,
+    // and Release keeps the port as a peer here so our endpoints still reach
+    // it.
     UdpNetwork::ReleasedEndpoint state = w.udp->Release(id);
     owner_of_[static_cast<size_t>(member)].store(thief, std::memory_order_release);
     Post(thief, [this, thief, member, state, from_steal, start_ns] {
       FinishAdopt(thief, member, {}, state, {}, from_steal, start_ns);
+    });
+    return;
+  }
+
+  if (w.udp != nullptr) {
+    // Shared ingress: no kernel object moves — Release just unhooks the demux
+    // entry and hands back the deliver callback.  Routing discipline matches
+    // the channel backend (listener misses travel via the home shard's ring),
+    // so the handoff uses the same home-shard marker fence to keep per-sender
+    // FIFO across the migration.
+    UdpNetwork::ReleasedEndpoint state = w.udp->Release(id);
+    int home = home_of_[static_cast<size_t>(member)];
+    if (home == shard) {
+      owner_of_[static_cast<size_t>(member)].store(thief, std::memory_order_release);
+      Post(thief, [this, thief, member, state, from_steal, start_ns] {
+        FinishAdopt(thief, member, {}, state, {}, from_steal, start_ns);
+      });
+      return;
+    }
+    Migration mig;
+    mig.thief = thief;
+    mig.from_steal = from_steal;
+    mig.start_ns = start_ns;
+    mig.udp = std::move(state);
+    w.migrations[member] = std::move(mig);
+    int victim = shard;
+    Post(home, [this, victim, member, thief] {
+      owner_of_[static_cast<size_t>(member)].store(thief, std::memory_order_release);
+      Post(victim, [this, victim, member] { CompleteMarker(victim, member); });
     });
     return;
   }
@@ -955,9 +1043,9 @@ void ShardRuntime::CompleteMarker(int shard, int member) {
   int thief = mig.thief;
   ENS_TRACE(kHandoffMarker, member, static_cast<uint64_t>(thief), mig.backlog.size());
   Post(thief, [this, thief, member, chan = std::move(mig.chan),
-               backlog = std::move(mig.backlog), from_steal = mig.from_steal,
-               start_ns = mig.start_ns] {
-    FinishAdopt(thief, member, chan, {}, backlog, from_steal, start_ns);
+               udp = std::move(mig.udp), backlog = std::move(mig.backlog),
+               from_steal = mig.from_steal, start_ns = mig.start_ns] {
+    FinishAdopt(thief, member, chan, udp, backlog, from_steal, start_ns);
   });
 }
 
@@ -993,6 +1081,21 @@ void ShardRuntime::FinishAdopt(int shard, int member, ChannelNetwork::ReleasedEn
       w.pending.erase(pit);
       for (const Packet& p : q) {
         w.chan->DeliverFromRing(p);
+      }
+    }
+  } else if (w.udp->shared_ingress()) {
+    // Same ordering discipline as the channel backend: the backlog that
+    // accumulated on the victim mid-migration predates anything that raced
+    // ahead of the adoption into our pre-adopt queue.
+    for (const Packet& p : backlog) {
+      DeliverUdpShared(shard, p);
+    }
+    auto pit = w.pending.find(member);
+    if (pit != w.pending.end()) {
+      std::deque<Packet> q = std::move(pit->second);
+      w.pending.erase(pit);
+      for (const Packet& p : q) {
+        DeliverUdpShared(shard, p);
       }
     }
   }

@@ -18,6 +18,12 @@
 //   - the kernel, for the UDP backend: every endpoint owns a real socket, and
 //     AddPeer() teaches each shard's UdpNetwork the ports of endpoints living
 //     on other shards, so cross-shard datagrams are ordinary loopback sends.
+//     With `ingress = shared` every shard instead binds ONE listener in a
+//     common SO_REUSEPORT group: kernel sockets per shard drop to O(1) in
+//     endpoint count, the whole shard drains in a single recvmmsg/uring loop,
+//     and a demux preheader (kWireIngress) routes each datagram to its
+//     endpoint.  A listener-drain datagram whose conn id is not local routes
+//     through the owner via RoutePacketFrom, exactly like a channel packet.
 //
 // Idle workers block in poll(2) (UDP: sockets + eventfd wakeup; channel:
 // eventfd only) instead of spinning; posting into a ring wakes the owner
@@ -41,9 +47,12 @@
 // steal request to the hottest shard; the victim quiesces one whole
 // GroupEndpoint (flush staged traffic, invalidate its timers via a rebind
 // epoch) and hands ownership to the thief over the ordinary rings — the
-// stack itself never sees a second thread.  For the UDP backend the
-// endpoint's socket moves with it (datagrams queued in the kernel travel
-// along, so nothing in flight is lost or reordered).  For the channel
+// stack itself never sees a second thread.  For the per-endpoint UDP backend
+// the endpoint's socket moves with it (datagrams queued in the kernel travel
+// along, so nothing in flight is lost or reordered); with shared ingress the
+// handoff is a pure in-memory transfer (demux entry + deliver callback — no
+// kernel object), fenced through the home shard like a channel handoff so
+// per-sender FIFO holds across the migration.  For the channel
 // backend, packets always route to the endpoint's HOME shard, which
 // forwards to the current owner; a handoff away from a foreign owner is
 // fenced with a marker bounced off the home shard, and packets that arrive
@@ -329,6 +338,13 @@ class ShardRuntime {
   // Internal (ChannelNetwork): every endpoint id in the runtime, in member
   // order.  Immutable after Build().
   const std::vector<EndpointId>& AllIds() const { return all_ids_; }
+  // Kernel sockets owned by shard `s`'s network backend (0 for the channel
+  // backend).  With shared ingress this is 2 (listener + tx) regardless of
+  // endpoint count — the O(1) property the runtime tests assert.
+  size_t KernelSocketsOf(int shard) const {
+    const Worker& w = *workers_[static_cast<size_t>(shard)];
+    return w.udp != nullptr ? w.udp->OwnedSocketCount() : 0;
+  }
 
  private:
   static constexpr uint64_t kEwmaScale = 256;  // Fixed-point EWMA unit.
@@ -351,6 +367,7 @@ class ShardRuntime {
     bool from_steal = false;  // Clears steal_inflight_ when adopted.
     uint64_t start_ns = 0;    // StartHandoff stamp → sched.steal_duration_ns.
     ChannelNetwork::ReleasedEndpoint chan;
+    UdpNetwork::ReleasedEndpoint udp;  // Shared-ingress UDP handoffs only.
     std::deque<Packet> backlog;
   };
 
@@ -383,6 +400,12 @@ class ShardRuntime {
   size_t DrainInbox(int shard);
   size_t DrainDeferred(int shard);
   void ProcessMsg(int shard, ShardMsg msg);
+  // Shared-ingress UDP: delivers a ring-routed packet into the local demux
+  // table, or stashes/forwards it via the orphan chain (mid-migration).
+  void DeliverUdpShared(int shard, const Packet& packet);
+  // Enables the SO_REUSEPORT listener group across all workers (constructor
+  // helper); rolls back to per-endpoint sockets if any shard fails.
+  void SetupSharedIngress();
   void PublishLoad(int shard, size_t events, uint64_t busy_ns);
   void IdleBlock(int shard);
   void MaybeSteal(int shard, int idle_streak, uint64_t* last_attempt_ns);

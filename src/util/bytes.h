@@ -136,6 +136,8 @@ class Iovec {
       parts_.insert(parts_.begin(), std::move(b));
     }
   }
+  // Pre-sizes the part list so a known Append sequence mallocs at most once.
+  void Reserve(size_t parts) { parts_.reserve(parts); }
 
   size_t size() const { return total_; }
   bool empty() const { return total_ == 0; }
