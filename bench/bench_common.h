@@ -13,7 +13,12 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
 
 #include "src/net/udp.h"
 #include "src/obs/json.h"
@@ -22,6 +27,64 @@
 #include "src/perf/latency_harness.h"
 
 namespace ensemble {
+
+// ---- Common artifact header ------------------------------------------------
+//
+// Every bench_* artifact opens with the same "header" block so results files
+// are comparable across machines and traceable to the tree that produced
+// them: git SHA (configure-time), host core count, kernel release, and the
+// backend/ingress a kAuto config would resolve to on this host.
+
+#ifndef ENSEMBLE_GIT_SHA
+#define ENSEMBLE_GIT_SHA "unknown"
+#endif
+
+inline std::string KernelRelease() {
+#if defined(__linux__) || defined(__APPLE__)
+  struct utsname u;
+  if (uname(&u) == 0) {
+    return u.release;
+  }
+#endif
+  return "unknown";
+}
+
+// What NetBackendConfig::Auto() resolves to here: attach a throwaway socket
+// and read back the active backend rather than re-deriving the probe logic.
+inline std::string ResolvedAutoBackendName() {
+  UdpNetwork probe;
+  probe.set_backend_config(NetBackendConfig::Auto());
+  probe.Attach(EndpointId{1}, [](const Packet&) {});
+  if (!probe.ok()) {
+    return "unavailable";
+  }
+  return NetBackendName(probe.active_backend());
+}
+
+inline std::string ResolvedAutoIngressName() {
+  UdpNetwork probe;
+  probe.set_backend_config(NetBackendConfig::Auto());
+  probe.Attach(EndpointId{1}, [](const Packet&) {});
+  if (!probe.ok()) {
+    return "unavailable";
+  }
+  return probe.shared_ingress() ? "shared" : "per_endpoint";
+}
+
+// Writes the common header block under "header" into an already-open object:
+//   {"header": {"bench": ..., "git_sha": ..., "host_cores": ...,
+//               "kernel": ..., "auto_backend": ..., "auto_ingress": ...}, ...}
+inline void AppendBenchHeader(obs::JsonWriter& w, const std::string& bench_name) {
+  w.Key("header");
+  w.BeginObject();
+  w.KV("bench", bench_name);
+  w.KV("git_sha", ENSEMBLE_GIT_SHA);
+  w.KV("host_cores", static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  w.KV("kernel", KernelRelease());
+  w.KV("auto_backend", ResolvedAutoBackendName());
+  w.KV("auto_ingress", ResolvedAutoIngressName());
+  w.EndObject();
+}
 
 // ---- Registry-backed emission ----------------------------------------------
 //

@@ -156,10 +156,10 @@ Row RunConfig(int workers, int pairs) {
   return row;
 }
 
-void WriteJson(const std::vector<Row>& rows, unsigned host_cores) {
+void WriteJson(const std::vector<Row>& rows) {
   obs::JsonWriter w;
   w.BeginObject();
-  w.KV("host_cores", host_cores);
+  AppendBenchHeader(w, "scaling");
   w.KV("msg_bytes", static_cast<uint64_t>(kMsgSize));
   w.KV("window_per_pair", kWindow);
   w.Key("rows").BeginArray();
@@ -220,7 +220,7 @@ int main() {
     }
   }
   if (!rows.empty()) {
-    WriteJson(rows, host_cores);
+    WriteJson(rows);
   }
   return 0;
 }

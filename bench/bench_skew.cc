@@ -210,11 +210,10 @@ std::string ResidentsJson(const std::vector<int>& residents) {
   return out;
 }
 
-void WriteJson(const std::vector<SkewRow>& rows, unsigned host_cores, double ratio,
-               const char* ingress) {
+void WriteJson(const std::vector<SkewRow>& rows, double ratio, const char* ingress) {
   obs::JsonWriter w;
   w.BeginObject();
-  w.KV("host_cores", host_cores);
+  AppendBenchHeader(w, "skew");
   w.KV("msg_bytes", static_cast<uint64_t>(kMsgSize));
   w.KV("window_per_pair", kWindow);
   w.KV("skew", "8:1");
@@ -297,7 +296,7 @@ int main(int argc, char** argv) {
                     rows[1].metrics);
   // Smoke runs write the JSON too: CI asserts a valid BENCH_skew.json exists
   // after the shared-ingress smoke leg.
-  WriteJson(rows, host_cores, ratio, ingress_name);
+  WriteJson(rows, ratio, ingress_name);
 
   // The stealing run exported TRACE_skew.json (only meaningful when the
   // trace path is compiled in); make sure it stays loadable.

@@ -266,7 +266,9 @@ void PrintRows(const std::vector<Row>& rows) {
 
 void WriteJson(const std::vector<Row>& rows) {
   obs::JsonWriter w;
-  w.BeginArray();
+  w.BeginObject();
+  AppendBenchHeader(w, "throughput");
+  w.Key("rows").BeginArray();
   for (const Row& r : rows) {
     w.BeginObject();
     w.KV("section", r.section).KV("config", r.label);
@@ -283,6 +285,7 @@ void WriteJson(const std::vector<Row>& rows) {
     w.EndObject();
   }
   w.EndArray();
+  w.EndObject();
   WriteJsonFile("BENCH_throughput.json", w.Take());
 }
 

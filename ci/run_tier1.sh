@@ -1,84 +1,103 @@
 #!/usr/bin/env sh
-# Tier-1 gate: configure, build, and run the full test suite.
-# This is the exact sequence CI runs; run it locally before pushing.
+# Tier-1 gate: configure, build, and run the test suite.  This is the exact
+# sequence CI runs; run it locally before pushing.
 #
-#   --tsan     build a separate tree with -DENSEMBLE_TSAN=ON and run the
-#              concurrency suite (MPSC ring + sharded runtime + observability
-#              snapshot/trace, including the multi-worker stress test) under
-#              ThreadSanitizer.
-#   --notrace  build a separate tree with -DENSEMBLE_TRACE=OFF (ENS_TRACE
-#              compiled out entirely) and run the full suite against it.
-#   --nouring  build a separate tree with -DENSEMBLE_URING=OFF (the io_uring
-#              backend compiled out to stubs) and run the full suite: proves
-#              the mmsg fallback carries every uring-tagged configuration.
-#   --shared   run the full suite with ENSEMBLE_INGRESS=shared, forcing every
-#              kAuto network onto the SO_REUSEPORT shard-listener ingress:
-#              proves the demux datapath carries the whole test matrix.
+# One script, one leg matrix.  Every leg flows through the same
+# configure/build/ctest/smoke pipeline below; the case statement only sets
+# the per-leg knobs (build dir, cmake flags, environment, test selection,
+# post-suite smoke benches), so adding a leg is one case arm.
+#
+#   (none)      full suite + skew scheduler smokes (per-endpoint and shared)
+#   --tsan      separate tree, -DENSEMBLE_TSAN=ON: concurrency suite (MPSC
+#               ring + sharded runtime + observability) under ThreadSanitizer
+#   --notrace   separate tree, -DENSEMBLE_TRACE=OFF (ENS_TRACE compiled out)
+#   --nouring   separate tree, -DENSEMBLE_URING=OFF (io_uring stubbed): the
+#               mmsg fallback must carry every uring-tagged configuration
+#   --shared    full suite with ENSEMBLE_INGRESS=shared: every kAuto network
+#               on the SO_REUSEPORT shard-listener ingress
+#   --autotune  cost-model/autotuner tests + bench_autotune --smoke: the
+#               predict-before-measure gate plus strict validation of
+#               BENCH_autotune.json and COSTMODEL.json
 set -eu
 
 cd "$(dirname "$0")/.."
 
-if [ "${1:-}" = "--tsan" ]; then
-  cmake -B build-tsan -S . -DENSEMBLE_TSAN=ON
-  cmake --build build-tsan -j "$(nproc 2>/dev/null || echo 4)" --target ensemble_tests
-  cd build-tsan
-  # TSAN_OPTIONS makes any reported race fail the run even if tests pass.
-  TSAN_OPTIONS="halt_on_error=0 exitcode=66" \
-    ctest --output-on-failure -R 'MpscRing|ShardRuntime|GroupHarnessSharded|Obs'
-  exit 0
-fi
+JOBS="$(nproc 2>/dev/null || echo 4)"
+LEG="${1:-default}"
+LEG="${LEG#--}"
 
-if [ "${1:-}" = "--nouring" ]; then
-  cmake -B build-nouring -S . -DENSEMBLE_URING=OFF
-  cmake --build build-nouring -j "$(nproc 2>/dev/null || echo 4)"
-  cd build-nouring
-  ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
-  exit 0
-fi
+BUILD_DIR=build
+CMAKE_FLAGS=""
+BUILD_TARGET=""
+CTEST_ARGS="-j $JOBS"
+SMOKES=""
 
-if [ "${1:-}" = "--notrace" ]; then
-  cmake -B build-notrace -S . -DENSEMBLE_TRACE=OFF
-  cmake --build build-notrace -j "$(nproc 2>/dev/null || echo 4)"
-  cd build-notrace
-  ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
-  exit 0
-fi
+case "$LEG" in
+  default)  SMOKES="skew skew_shared" ;;
+  tsan)     BUILD_DIR=build-tsan; CMAKE_FLAGS="-DENSEMBLE_TSAN=ON"
+            BUILD_TARGET="--target ensemble_tests"
+            # Any reported race fails the run even if the tests pass.
+            export TSAN_OPTIONS="halt_on_error=0 exitcode=66"
+            CTEST_ARGS="-R MpscRing|ShardRuntime|GroupHarnessSharded|Obs" ;;
+  notrace)  BUILD_DIR=build-notrace; CMAKE_FLAGS="-DENSEMBLE_TRACE=OFF" ;;
+  nouring)  BUILD_DIR=build-nouring; CMAKE_FLAGS="-DENSEMBLE_URING=OFF" ;;
+  shared)   export ENSEMBLE_INGRESS=shared ;;
+  autotune) CTEST_ARGS="-R CostModel|Autotuner"; SMOKES="autotune" ;;
+  *) echo "unknown leg: $LEG" >&2; exit 2 ;;
+esac
 
-if [ "${1:-}" = "--shared" ]; then
-  cmake -B build -S .
-  cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
-  cd build
-  ENSEMBLE_INGRESS=shared ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
-  exit 0
-fi
+# Strict artifact check: non-empty and parseable.
+json_check() {
+  test -s "$1"
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$1" \
+    && echo "$1: valid JSON"
+}
 
-cmake -B build -S .
-cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
-cd build
-ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
-# Scheduler smoke: a shrunk skew run that fails if work stealing stops
-# moving endpoints (skips itself cleanly when the env has no UDP sockets).
-# With sockets available it must also emit a parseable Chrome trace export.
-rm -f TRACE_skew.json
-./bench/bench_skew --smoke > skew_smoke.out 2>&1 || { cat skew_smoke.out; exit 1; }
-cat skew_smoke.out
-if ! grep -q "unavailable" skew_smoke.out; then
-  test -s TRACE_skew.json
-  python3 -c "import json; json.load(open('TRACE_skew.json'))" \
-    && echo "TRACE_skew.json: valid JSON"
-fi
-# Same smoke over the shared-ingress datapath: stealing must still move
-# endpoints when migrations are in-memory transfers, and both exports must
-# stay parseable.
-rm -f BENCH_skew.json TRACE_skew.json
-./bench/bench_skew --smoke --ingress=shared > skew_shared.out 2>&1 \
-  || { cat skew_shared.out; exit 1; }
-cat skew_shared.out
-if ! grep -q "unavailable" skew_shared.out; then
-  test -s BENCH_skew.json
-  python3 -c "import json; json.load(open('BENCH_skew.json'))" \
-    && echo "BENCH_skew.json: valid JSON"
-  test -s TRACE_skew.json
-  python3 -c "import json; json.load(open('TRACE_skew.json'))" \
-    && echo "TRACE_skew.json: valid JSON"
-fi
+# Post-suite smoke benches.  Each one skips itself cleanly when the
+# environment has no UDP sockets (the benches print "unavailable"); with
+# sockets it must also emit parseable artifacts.
+run_smoke() {
+  case "$1" in
+    skew)
+      # Shrunk skew run: fails if work stealing stops moving endpoints, and
+      # the Chrome trace export must stay loadable.
+      rm -f TRACE_skew.json
+      ./bench/bench_skew --smoke > skew_smoke.out 2>&1 || { cat skew_smoke.out; exit 1; }
+      cat skew_smoke.out
+      grep -q "unavailable" skew_smoke.out || json_check TRACE_skew.json
+      ;;
+    skew_shared)
+      # Same smoke over the shared-ingress datapath: stealing must still move
+      # endpoints when migrations are in-memory transfers.
+      rm -f BENCH_skew.json TRACE_skew.json
+      ./bench/bench_skew --smoke --ingress=shared > skew_shared.out 2>&1 \
+        || { cat skew_shared.out; exit 1; }
+      cat skew_shared.out
+      if ! grep -q "unavailable" skew_shared.out; then
+        json_check BENCH_skew.json
+        json_check TRACE_skew.json
+      fi
+      ;;
+    autotune)
+      # Calibrate, predict every row before measuring it, and fail when the
+      # single-core geomean prediction error exceeds the generous bound
+      # (bench_autotune exits nonzero itself).
+      rm -f BENCH_autotune.json COSTMODEL.json
+      ./bench/bench_autotune --smoke > autotune_smoke.out 2>&1 \
+        || { cat autotune_smoke.out; exit 1; }
+      cat autotune_smoke.out
+      if ! grep -q "unavailable" autotune_smoke.out; then
+        json_check BENCH_autotune.json
+        json_check COSTMODEL.json
+      fi
+      ;;
+  esac
+}
+
+cmake -B "$BUILD_DIR" -S . $CMAKE_FLAGS
+cmake --build "$BUILD_DIR" -j "$JOBS" $BUILD_TARGET
+cd "$BUILD_DIR"
+ctest --output-on-failure $CTEST_ARGS
+for smoke in $SMOKES; do
+  run_smoke "$smoke"
+done

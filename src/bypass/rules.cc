@@ -65,6 +65,9 @@ BypassRule MnakDnCast() {
   BypassRule r;
   r.ccp_desc = "true (sender side always eligible)";
   r.needs_upper_headers = true;  // SaveSent keeps the upper headers.
+  // SaveSent copies the whole event into the retransmit buffer — heavier
+  // than the structural estimate (header materialization + map insert).
+  r.cost_units = 14;
   r.update = +[](BypassCtx& ctx) {
     auto* f = MutSt<MnakFast>(ctx);
     ctx.vars_out[0] = f->send_seqno;
@@ -113,6 +116,7 @@ BypassRule Pt2ptDnSend() {
   BypassRule r;
   r.ccp_desc = "true (sender side always eligible)";
   r.needs_upper_headers = true;  // The unacked buffer keeps the upper headers.
+  r.cost_units = 14;  // FastSend buffers the event, like mnak's SaveSent.
   r.update = +[](BypassCtx& ctx) {
     auto* f = MutSt<Pt2ptFast>(ctx);
     ctx.vars_out[0] = f->self->NextSendSeqno(ctx.ev->dest);

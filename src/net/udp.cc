@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/util/logging.h"
+
 // Platform-independent pieces: name tables, the ENSEMBLE_INGRESS knob, the
 // shared-ingress test hook.
 namespace ensemble {
@@ -31,9 +33,12 @@ IngressMode ResolveIngressMode(IngressMode requested) {
     return requested;
   }
   const char* env = std::getenv("ENSEMBLE_INGRESS");
-  return (env != nullptr && std::strcmp(env, "shared") == 0)
-             ? IngressMode::kShared
-             : IngressMode::kPerEndpoint;
+  IngressMode resolved = (env != nullptr && std::strcmp(env, "shared") == 0)
+                             ? IngressMode::kShared
+                             : IngressMode::kPerEndpoint;
+  LogOncePerProcess(LogLevel::kInfo, std::string("net: auto ingress resolved to ") +
+                                         IngressModeName(resolved));
+  return resolved;
 }
 
 namespace {
@@ -165,6 +170,8 @@ void UdpNetwork::ResolveBackend() {
   NetBackend want = cfg_.backend;
   if (want == NetBackend::kAuto) {
     want = UringEngine::Available() ? NetBackend::kUring : NetBackend::kMmsg;
+    LogOncePerProcess(LogLevel::kInfo, std::string("net: auto backend resolved to ") +
+                                           NetBackendName(want));
   } else if (want == NetBackend::kUring && !UringEngine::Available()) {
     LogUnsupportedOnce("io_uring backend (falling back to mmsg)");
     want = NetBackend::kMmsg;
@@ -394,7 +401,15 @@ void UdpNetwork::Detach(EndpointId ep) {
   }
   FlushEndpoint(it->second);  // Staged farewells (Leave) still go out.
   if (engine_) {
-    UringQuiesce(it->second.fd);
+    // Remove WITHOUT delivering pending receives.  Detach runs from endpoint
+    // destructors — often mid-teardown of the whole runtime — so pushing
+    // packets up the stack here re-enters app callbacks and counters that may
+    // already be destroyed.  Anything the ring pulled for this endpoint drops
+    // (the kernel would have dropped its socket queue at close anyway);
+    // other endpoints' packets stay queued for the next Poll.  The migration
+    // path (Release) still quiesces WITH delivery: there the endpoint lives
+    // on elsewhere and the runtime is fully alive.
+    engine_->RemoveSocket(it->second.fd);
   }
   by_port_.erase(it->second.port);
   if (it->second.fd >= 0) {

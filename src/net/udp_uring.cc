@@ -782,8 +782,19 @@ size_t UringEngine::ProcessCompletions() {
 }
 
 size_t UringEngine::DeliverPending() {
+  if (deliver_pass_) {
+    return 0;  // Nested via a deliver callback: the outer pass owns pending_.
+  }
+  deliver_pass_ = true;
   size_t delivered = 0;
-  while (pending_head_ < pending_.size()) {
+  // Bound the pass to what was queued on entry: a deliver callback can
+  // re-enter the engine (send → batch submit → reap) and queue MORE pending
+  // receives behind us.  Chasing pending_.size() live never terminates under
+  // a self-sustaining workload (every delivery produces a new arrival), which
+  // both wedges the owning worker inside one Poll and grows the husk prefix
+  // without bound.  Late arrivals wait for the caller's next round.
+  size_t limit = pending_.size();
+  while (pending_head_ < limit) {
     PendingRecv pr = std::move(pending_[pending_head_]);
     pending_head_++;
     stats_->delivered++;
@@ -792,8 +803,11 @@ size_t UringEngine::DeliverPending() {
       deliver_(pr.cookie, pr.src_port, std::move(pr.payload));
     }
   }
-  pending_.clear();
+  // Compact: drop the delivered husks, keep anything queued mid-pass.
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<ptrdiff_t>(pending_head_));
   pending_head_ = 0;
+  deliver_pass_ = false;
   return delivered;
 }
 

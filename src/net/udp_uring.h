@@ -211,6 +211,10 @@ class UringEngine {
   std::vector<PendingRecv> pending_;
   size_t pending_head_ = 0;
   bool delivering_ = false;            // Re-entrancy guard for ReapAndDeliver.
+  bool deliver_pass_ = false;          // Re-entrancy guard for DeliverPending:
+                                       // a nested call (deliver callback →
+                                       // quiesce/drain) would corrupt the
+                                       // outer pass's cursor and husk prefix.
 };
 
 }  // namespace ensemble

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
+#include "src/net/udp_uring.h"
 #include "src/obs/stats_adapters.h"
 #include "src/util/logging.h"
 
@@ -179,6 +181,7 @@ size_t ChannelNetwork::Poll() {
 // ---- ShardRuntime ----------------------------------------------------------
 
 ShardRuntime::ShardRuntime(ShardRuntimeConfig config) : config_(std::move(config)) {
+  ApplyAutotune();  // Rewrites config_ knobs before any worker reads them.
   int w = std::max(1, config_.num_workers);
   links_ = static_cast<size_t>(w) + 1;  // Worker links + one external link.
   // Size the rings so every link's credit quota is useful; total credits never
@@ -255,6 +258,58 @@ void ShardRuntime::SetupSharedIngress() {
 }
 
 ShardRuntime::~ShardRuntime() { Stop(); }
+
+void ShardRuntime::ApplyAutotune() {
+  if (!config_.autotune.enabled) {
+    return;
+  }
+  const AutotuneConfig& at = config_.autotune;
+  perf::CostModel model;
+  if (at.have_model) {
+    model = at.model;
+  } else if (!at.costmodel_path.empty() &&
+             perf::CostModel::Load(at.costmodel_path, &model)) {
+    // Loaded a previous calibration from disk.
+  } else if (at.calibrate) {
+    model = CalibrateWithRuntime();
+  } else {
+    model = perf::CostModel::Defaults();
+  }
+  // Ground truth beats the model file: a COSTMODEL.json calibrated on a host
+  // with io_uring must not steer this host onto a backend it lacks.
+  int uring = static_cast<int>(NetBackend::kUring);
+  model.backend[uring].available =
+      model.backend[uring].available && UringEngine::Available();
+  if (at.save_costmodel && !at.costmodel_path.empty()) {
+    model.Save(at.costmodel_path);
+  }
+  tuner_ = std::make_unique<Autotuner>(std::move(model));
+
+  workload_.msg_bytes = at.msg_bytes;
+  workload_.cross_shard_fraction = at.cross_shard_fraction;
+  workload_.burst = at.burst;
+  workload_.steal_eligible = at.steal_eligible && config_.steal.enabled;
+  workload_.stack_ns = perf::StackCostOf(tuner_->model(), config_.ep);
+  decision_ = tuner_->Choose(workload_);
+  if (!decision_.valid) {
+    return;
+  }
+  config_.net.backend = decision_.knobs.backend;
+  config_.net.send_batch = config_.net.recv_batch = decision_.knobs.batch;
+  config_.ep.pack_messages = decision_.knobs.pack_window > 1;
+  config_.ep.pack_window = decision_.knobs.pack_window;
+  if (config_.ep.timer_interval > 0) {
+    // The endpoint's periodic timer is the flush deadline; a config that
+    // turned timers off entirely (manual-flush benches) keeps them off.
+    config_.ep.timer_interval = decision_.knobs.flush_deadline;
+  }
+  if (config_.steal.enabled) {
+    config_.steal.min_imbalance = decision_.knobs.steal_min_imbalance;
+  }
+  tune_predicted_.store(static_cast<uint64_t>(decision_.predicted.msgs_per_sec),
+                        std::memory_order_relaxed);
+  LogOncePerProcess(LogLevel::kInfo, decision_.Describe());
+}
 
 bool ShardRuntime::Build(int n, int group_size) {
   ENS_CHECK(!started_);
@@ -363,6 +418,33 @@ void ShardRuntime::RegisterMetrics() {
   metrics_.Counter("sched.credit_parks", &credit_parks_);
   metrics_.HistogramSource("sched.delivery_latency_ns", &delivery_latency_);
   metrics_.HistogramSource("sched.steal_duration_ns", &steal_duration_);
+  if (config_.autotune.enabled && tuner_ != nullptr) {
+    // tune.active_config records what actually runs: the backend bits come
+    // from active_backend() (never a fallen-back request), so they agree
+    // with net.backend_active by construction — a test asserts it.  The
+    // channel backend reports eager (NetworkStats' backend_active default):
+    // the backend knob is inert without kernel sockets.
+    perf::KnobVector active = decision_.knobs;
+    bool shared = false;
+    Worker& w0 = *workers_.front();
+    if (w0.udp != nullptr) {
+      active.backend = w0.udp->active_backend();
+      shared = w0.udp->shared_ingress();
+    } else {
+      active.backend = NetBackend::kEager;
+    }
+    tune_active_.store(active.Encode(shared), std::memory_order_relaxed);
+    metrics_.Gauge("tune.predicted_msgs_per_sec", [this]() {
+      return static_cast<int64_t>(tune_predicted_.load(std::memory_order_relaxed));
+    });
+    metrics_.Gauge("tune.model_error_pct", [this]() {
+      return static_cast<int64_t>(std::llround(tuner_->model_error_pct()));
+    });
+    metrics_.Gauge("tune.active_config", [this]() {
+      return static_cast<int64_t>(tune_active_.load(std::memory_order_relaxed));
+    });
+    metrics_.Counter("tune.retunes", &retunes_);
+  }
   for (const auto& member : members_) {
     RegisterEndpointStats(metrics_, &member->stats());
   }
@@ -393,6 +475,58 @@ void ShardRuntime::Start() {
   }
   if (config_.stats_interval > 0) {
     snap_thread_ = std::thread([this] { SnapshotterLoop(); });
+  }
+  if (config_.autotune.enabled && tuner_ != nullptr &&
+      config_.autotune.retune_interval > 0) {
+    tune_thread_ = std::thread([this] { RetuneLoop(); });
+  }
+}
+
+void ShardRuntime::RetuneLoop() {
+  uint64_t last_delivered = total_delivered();
+  uint64_t last_ns = NowNanos();
+  std::unique_lock<std::mutex> lock(tune_mu_);
+  while (!tune_cv_.wait_for(lock,
+                            std::chrono::nanoseconds(config_.autotune.retune_interval),
+                            [this] { return tune_stop_; })) {
+    lock.unlock();
+    uint64_t now = NowNanos();
+    uint64_t cur = total_delivered();
+    double secs = static_cast<double>(now - last_ns) / 1e9;
+    double observed =
+        secs > 0 ? static_cast<double>(cur - last_delivered) / secs : 0;
+    last_ns = now;
+    last_delivered = cur;
+    if (observed > 0) {
+      tuner_->Observe(observed, decision_.predicted.msgs_per_sec);
+      // Live re-evaluation: refresh the scheduler terms from the real
+      // histograms, re-run the lattice, and apply what is changeable at
+      // runtime — backend and batch depth, through each owner's ring
+      // (set_backend_config is documented safe on the owning thread).
+      perf::RefineFromMetrics(metrics_.Snapshot(), tuner_->mutable_model());
+      TuneDecision next = tuner_->Choose(workload_);
+      if (next.valid && (next.knobs.backend != decision_.knobs.backend ||
+                         next.knobs.batch != decision_.knobs.batch)) {
+        decision_.knobs.backend = next.knobs.backend;
+        decision_.knobs.batch = next.knobs.batch;
+        decision_.predicted = next.predicted;
+        retunes_++;
+        if (config_.backend == ShardBackend::kUdp) {
+          NetBackendConfig cfg = config_.net;
+          cfg.backend = next.knobs.backend;
+          cfg.send_batch = cfg.recv_batch = next.knobs.batch;
+          for (int s = 0; s < num_workers(); s++) {
+            Post(s, [this, s, cfg] {
+              workers_[static_cast<size_t>(s)]->udp->set_backend_config(cfg);
+            });
+          }
+        }
+        tune_predicted_.store(
+            static_cast<uint64_t>(decision_.predicted.msgs_per_sec),
+            std::memory_order_relaxed);
+      }
+    }
+    lock.lock();
   }
 }
 
@@ -427,6 +561,14 @@ void ShardRuntime::Stop() {
     }
     snap_cv_.notify_all();
     snap_thread_.join();
+  }
+  if (tune_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(tune_mu_);
+      tune_stop_ = true;
+    }
+    tune_cv_.notify_all();
+    tune_thread_.join();
   }
   stop_.store(true, std::memory_order_release);
   for (int s = 0; s < num_workers(); s++) {

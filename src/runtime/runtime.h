@@ -82,6 +82,7 @@
 #include "src/net/udp.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/runtime/autotune.h"
 #include "src/util/mpsc_ring.h"
 #include "src/util/waker.h"
 
@@ -124,6 +125,13 @@ struct ShardRuntimeConfig {
   size_t ring_capacity = 4096;   // Per-worker cross-shard inbox slots.
   VTime poll_slice = Millis(5);  // Max idle block per worker loop iteration.
   StealConfig steal;             // Adaptive rebalancing (default off).
+  // Model-driven knob selection (autotune.h).  When enabled, the constructor
+  // resolves a cost model, enumerates the knob lattice, and OVERRIDES
+  // net.backend/batch, ep.pack_*, ep.timer_interval (only when nonzero) and
+  // steal.min_imbalance (only when stealing is on) with the predicted-best
+  // configuration; tune.* gauges report the decision.  Default off: every
+  // knob above keeps meaning exactly what it says.
+  AutotuneConfig autotune;
   // Pin worker i to core i % hardware_concurrency (pthread_setaffinity_np).
   // No-op with a log line on platforms without thread affinity.
   bool pin_cores = false;
@@ -312,6 +320,11 @@ class ShardRuntime {
   // Per-shard load snapshot (the stealing signal, exposed for benches).
   ShardLoad LoadOf(int shard) const;
 
+  // The autotuner's startup decision (valid only when config.autotune.enabled
+  // chose a configuration); knobs/predictions may be updated by the retune
+  // thread, so read after Stop() or before Start() for exact values.
+  const TuneDecision& tune_decision() const { return decision_; }
+
   // The unified metrics registry: every backend, ring, waker, pool, endpoint
   // and scheduler counter is registered here during Build().  Callers may add
   // their own entries before Start().
@@ -397,6 +410,10 @@ class ShardRuntime {
   void PinToCore(int shard);
   void RegisterMetrics();
   void SnapshotterLoop();
+  // Constructor helper: resolves the cost model, picks the predicted-best
+  // knob vector, and rewrites config_ before any worker is created.
+  void ApplyAutotune();
+  void RetuneLoop();
   size_t DrainInbox(int shard);
   size_t DrainDeferred(int shard);
   void ProcessMsg(int shard, ShardMsg msg);
@@ -469,6 +486,20 @@ class ShardRuntime {
   std::mutex snap_mu_;
   std::condition_variable snap_cv_;
   bool snap_stop_ = false;
+
+  // Autotuning (config_.autotune.enabled).  decision_/workload_ belong to the
+  // main thread until Start(), then to the retune thread; the gauges read the
+  // atomics only.
+  std::unique_ptr<Autotuner> tuner_;
+  TuneDecision decision_;
+  perf::WorkloadDesc workload_;
+  std::atomic<uint64_t> tune_predicted_{0};  // msgs/sec, rounded.
+  std::atomic<uint32_t> tune_active_{0};     // KnobVector::Encode.
+  RelaxedCounter retunes_;
+  std::thread tune_thread_;
+  std::mutex tune_mu_;
+  std::condition_variable tune_cv_;
+  bool tune_stop_ = false;
 };
 
 }  // namespace ensemble

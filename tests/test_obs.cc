@@ -128,6 +128,82 @@ TEST(ObsMetrics, HistogramMergesAcrossShards) {
   EXPECT_GE(s->Percentile(0.99), 4096u);
 }
 
+TEST(ObsMetrics, HistogramBucketBoundariesAtPowersOfTwo) {
+  // An exact power of two 2^k is the *first* value of bucket k: BucketOf must
+  // not round it down into bucket k-1, and the bucket's reported ceiling is
+  // the last value before the next power of two.
+  for (size_t k = 0; k < 63; k++) {
+    uint64_t v = uint64_t{1} << k;
+    EXPECT_EQ(LatencyHistogram::BucketOf(v), k) << "v=2^" << k;
+    if (k > 0) {
+      EXPECT_EQ(LatencyHistogram::BucketOf(v - 1), k - 1) << "v=2^" << k << "-1";
+    }
+    EXPECT_EQ(LatencyHistogram::BucketCeil(k),
+              k >= 63 ? UINT64_MAX : (uint64_t{2} << k) - 1);
+    EXPECT_EQ(LatencyHistogram::BucketOf(LatencyHistogram::BucketCeil(k)), k);
+  }
+  // Zero is special-cased into bucket 0 (no clz on 0).
+  EXPECT_EQ(LatencyHistogram::BucketOf(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(UINT64_MAX), 63u);
+  EXPECT_EQ(LatencyHistogram::BucketCeil(63), UINT64_MAX);
+
+  MetricsRegistry reg;
+  LatencyHistogram* h = reg.Histogram("pow2.ns");
+  h->Observe(1024);           // First value of bucket 10.
+  h->Observe(2047);           // Last value of bucket 10.
+  MetricsSnapshot snap = reg.Snapshot();
+  const Sample* s = snap.Find("pow2.ns");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->buckets[10], 2u);
+  // Every quantile of a one-bucket population is that bucket's ceiling.
+  EXPECT_EQ(s->Percentile(0.0), 2047u);
+  EXPECT_EQ(s->Percentile(0.5), 2047u);
+  EXPECT_EQ(s->Percentile(1.0), 2047u);
+}
+
+TEST(ObsMetrics, HistogramSingleSampleQuantiles) {
+  MetricsRegistry reg;
+  LatencyHistogram* h = reg.Histogram("one.ns");
+  h->Observe(300);  // Bucket 8 (256..511).
+  MetricsSnapshot snap = reg.Snapshot();
+  const Sample* s = snap.Find("one.ns");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 1u);
+  EXPECT_EQ(s->sum, 300u);
+  // With one sample every quantile resolves to its bucket ceiling — never 0,
+  // never a neighbouring bucket.
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(s->Percentile(q), LatencyHistogram::BucketCeil(8)) << "q=" << q;
+  }
+}
+
+TEST(ObsMetrics, HistogramMergeOfDisjointRanges) {
+  // Shard 0 only ever sees sub-microsecond values, shard 1 only multi-ms
+  // ones; the merged quantiles must switch modes exactly at the population
+  // split, not blend the ranges.
+  MetricsRegistry reg;
+  LatencyHistogram* lo = reg.Histogram("disjoint.ns");
+  LatencyHistogram* hi = reg.Histogram("disjoint.ns");
+  for (int i = 0; i < 90; i++) {
+    lo->Observe(500);  // Bucket 8.
+  }
+  for (int i = 0; i < 10; i++) {
+    hi->Observe(4'000'000);  // Bucket 21.
+  }
+  MetricsSnapshot snap = reg.Snapshot();
+  const Sample* s = snap.Find("disjoint.ns");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 100u);
+  EXPECT_EQ(s->buckets[8], 90u);
+  EXPECT_EQ(s->buckets[21], 10u);
+  uint64_t lo_ceil = LatencyHistogram::BucketCeil(8);
+  uint64_t hi_ceil = LatencyHistogram::BucketCeil(21);
+  EXPECT_EQ(s->Percentile(0.50), lo_ceil);
+  EXPECT_EQ(s->Percentile(0.90), lo_ceil);  // 90th sample is still low-mode.
+  EXPECT_EQ(s->Percentile(0.95), hi_ceil);
+  EXPECT_EQ(s->Percentile(0.99), hi_ceil);
+}
+
 TEST(ObsMetrics, DeltaSubtractsCountersKeepsGauges) {
   RelaxedCounter c;
   int64_t gauge_now = 5;
