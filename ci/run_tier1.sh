@@ -18,6 +18,10 @@
 #   --autotune  cost-model/autotuner tests + bench_autotune --smoke: the
 #               predict-before-measure gate plus strict validation of
 #               BENCH_autotune.json and COSTMODEL.json
+#   --overload  overload-control tests + bench_overload --smoke: the 10x
+#               sustained-load gate (bounded memory, graceful p99, every
+#               ladder rung firing) plus strict validation of
+#               BENCH_overload.json and TRACE_overload.json
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -43,6 +47,8 @@ case "$LEG" in
   nouring)  BUILD_DIR=build-nouring; CMAKE_FLAGS="-DENSEMBLE_URING=OFF" ;;
   shared)   export ENSEMBLE_INGRESS=shared ;;
   autotune) CTEST_ARGS="-R CostModel|Autotuner"; SMOKES="autotune" ;;
+  overload) CTEST_ARGS="-R Overload|Watermark|SendWindow|LiveCounter|BufferPool"
+            SMOKES="overload" ;;
   *) echo "unknown leg: $LEG" >&2; exit 2 ;;
 esac
 
@@ -90,6 +96,18 @@ run_smoke() {
         json_check BENCH_autotune.json
         json_check COSTMODEL.json
       fi
+      ;;
+    overload)
+      # 10x sustained offered load: bench_overload exits nonzero unless the
+      # manager bounds memory under the byte watermark, keeps delivered p99
+      # within 5x of the 1x baseline, and fires every ladder rung (channel
+      # backend — no sockets needed, so this never skips).
+      rm -f BENCH_overload.json TRACE_overload.json
+      ./bench/bench_overload --smoke > overload_smoke.out 2>&1 \
+        || { cat overload_smoke.out; exit 1; }
+      cat overload_smoke.out
+      json_check BENCH_overload.json
+      json_check TRACE_overload.json
       ;;
   esac
 }

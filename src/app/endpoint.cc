@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 
 namespace ensemble {
@@ -172,6 +173,18 @@ void GroupEndpoint::EmitSendWire(Rank dest, const Iovec& wire) {
 }
 
 void GroupEndpoint::Cast(Iovec payload) {
+  if (send_window_ != nullptr) {
+    // Charge payload bytes × receiver fan-out: that is what the cast will
+    // occupy in pooled buffers and dispatch queues until delivered.
+    size_t fan = view_ != nullptr && view_->nmembers() > 1
+                     ? static_cast<size_t>(view_->nmembers() - 1)
+                     : 1;
+    if (!send_window_->TryReserve(payload.size() * fan)) {
+      stats_.window_shed++;
+      ENS_TRACE(kOverloadShed, -1, 0, payload.size() * fan);
+      return;
+    }
+  }
   stats_.casts++;
   Event ev = Event::Cast(std::move(payload));
   if (config_.mode == StackMode::kMachine && cast_route_ != nullptr) {
@@ -199,6 +212,11 @@ void GroupEndpoint::Cast(Iovec payload) {
 }
 
 void GroupEndpoint::Send(Rank dest, Iovec payload) {
+  if (send_window_ != nullptr && !send_window_->TryReserve(payload.size())) {
+    stats_.window_shed++;
+    ENS_TRACE(kOverloadShed, -1, 0, payload.size());
+    return;
+  }
   stats_.sends++;
   Event ev = Event::Send(dest, std::move(payload));
   if (config_.mode == StackMode::kMachine && send_route_ != nullptr) {

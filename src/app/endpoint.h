@@ -29,6 +29,7 @@
 #include "src/bypass/conn_table.h"
 #include "src/bypass/hand.h"
 #include "src/net/network.h"
+#include "src/overload/send_window.h"
 #include "src/stack/engine.h"
 #include "src/trans/transport.h"
 
@@ -67,6 +68,7 @@ class GroupEndpoint {
     RelaxedCounter bypass_up_fallback = 0;
     RelaxedCounter packets_in = 0;
     RelaxedCounter packed_in = 0;  // Sub-messages split out of packed datagrams.
+    RelaxedCounter window_shed = 0;  // Casts/Sends refused by the send window.
   };
 
   using DeliverFn = std::function<void(const Event&)>;
@@ -94,6 +96,15 @@ class GroupEndpoint {
   // Multicast to the whole group / point-to-point to a rank.
   void Cast(Iovec payload);
   void Send(Rank dest, Iovec payload);
+
+  // Overload gate (optional; default none).  When set, Cast/Send reserve
+  // payload bytes × fan-out against the group's send window at entry and
+  // shed the message (counted in stats().window_shed, trace-ringed) when the
+  // window is exhausted.  Only NEW application traffic is gated — protocol
+  // traffic emitted by the layers never consults the window.  The runtime's
+  // delivery tap credits the window back per delivery.
+  void SetSendWindow(overload::SendWindow* w) { send_window_ = w; }
+  overload::SendWindow* send_window() const { return send_window_; }
 
   // Batching boundary: emits every staged packed datagram and pushes the
   // network's own staging rings to the wire.  Cheap no-op when nothing is
@@ -161,6 +172,7 @@ class GroupEndpoint {
   DeliverFn on_deliver_;
   ViewFn on_view_;
   std::function<void()> on_exit_;
+  overload::SendWindow* send_window_ = nullptr;
   Stats stats_;
   bool started_ = false;
   bool alive_ = true;  // Cleared on kExit (excluded from a view).

@@ -162,6 +162,13 @@ class Network {
   // the next periodic timer (or forever, with timers off).  Event-scheduled
   // backends (the simulator) have no drain boundary and may ignore it.
   virtual void SetDrainHook(EndpointId ep, std::function<void()> hook) {}
+  // Backpressure signal from the overload manager.  Must be callable from any
+  // thread (backends store it in an atomic read on their own thread).
+  // Level 0 = normal; 1 = tighten batching (flush staged sends per message
+  // instead of waiting for a full batch); 2 = additionally shed: drop-oldest
+  // on unbounded non-reliable queues past the backend's keep depth.  Backends
+  // without staging or queues (the simulator) may ignore it.
+  virtual void SetPressure(int level) {}
 };
 
 // Fault and latency model.  All probabilities are per delivery attempt.

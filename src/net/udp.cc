@@ -559,7 +559,7 @@ void UdpNetwork::SendSharedWire(EndpointId src, EndpointId dst,
     wire.Append(std::move(hdr));
     wire.Append(gather);
     stats_.batched_datagrams++;
-    if (tx_.ring.size() >= cfg_.send_batch) {
+    if (tx_.ring.size() >= EffectiveSendBatch()) {
       FlushEndpoint(tx_);
     }
     return;
@@ -592,7 +592,7 @@ void UdpNetwork::Send(EndpointId src, EndpointId dst, const Iovec& gather) {
     CountIfPacked(&stats_, gather);
     SendSharedWire(src, dst, gather);
     if (active_ == NetBackend::kUring &&
-        engine_->staged_sends() >= cfg_.send_batch) {
+        engine_->staged_sends() >= EffectiveSendBatch()) {
       engine_->SubmitSends();  // Submit, don't wait: Flush() is the barrier.
     }
     return;
@@ -611,7 +611,7 @@ void UdpNetwork::Send(EndpointId src, EndpointId dst, const Iovec& gather) {
   CountIfPacked(&stats_, gather);
   if (active_ == NetBackend::kUring) {
     engine_->StageSend(from->second.fd, port, gather);
-    if (engine_->staged_sends() >= cfg_.send_batch) {
+    if (engine_->staged_sends() >= EffectiveSendBatch()) {
       engine_->SubmitSends();  // Submit, don't wait: Flush() is the barrier.
     }
     return;
@@ -642,7 +642,7 @@ void UdpNetwork::Broadcast(EndpointId src, const Iovec& gather) {
       SendSharedWire(src, ep, gather);
     }
     if (active_ == NetBackend::kUring &&
-        engine_->staged_sends() >= cfg_.send_batch) {
+        engine_->staged_sends() >= EffectiveSendBatch()) {
       engine_->SubmitSends();
     }
     return;
@@ -667,7 +667,7 @@ void UdpNetwork::Broadcast(EndpointId src, const Iovec& gather) {
       uring ? engine_->StageSend(from->second.fd, port, gather)
             : Enqueue(from->second, port, gather);
     }
-    if (uring && engine_->staged_sends() >= cfg_.send_batch) {
+    if (uring && engine_->staged_sends() >= EffectiveSendBatch()) {
       engine_->SubmitSends();
     }
     return;
@@ -686,7 +686,7 @@ void UdpNetwork::Broadcast(EndpointId src, const Iovec& gather) {
 void UdpNetwork::Enqueue(Endpoint& from, uint16_t port, const Iovec& gather) {
   from.ring.push_back(Staged{port, gather});
   stats_.batched_datagrams++;
-  if (from.ring.size() >= cfg_.send_batch) {
+  if (from.ring.size() >= EffectiveSendBatch()) {
     FlushEndpoint(from);
   }
 }
@@ -776,6 +776,7 @@ void UdpNetwork::PrewarmRecvBuffers(size_t chunks) { recv_pool_.Prewarm(chunks);
 
 void UdpNetwork::ScheduleTimer(VTime delay, TimerFn fn) {
   timers_.push(Timer{NowNanos() + delay, timer_seq_++, std::move(fn)});
+  timer_depth_ = timers_.size();
 }
 
 size_t UdpNetwork::RunDueTimers() {
@@ -786,6 +787,7 @@ size_t UdpNetwork::RunDueTimers() {
     due.push_back(std::move(const_cast<Timer&>(timers_.top()).fn));
     timers_.pop();
   }
+  timer_depth_ = timers_.size();
   for (TimerFn& fn : due) {
     fn();
   }

@@ -225,6 +225,21 @@ class UdpNetwork : public Network {
   // Pushes every staged datagram to the wire (no-op when nothing is staged).
   void Flush() override;
 
+  // Overload backpressure (thread-safe, see Network::SetPressure).  Level ≥ 1
+  // tightens the staging auto-flush threshold to one datagram, so every
+  // backend (mmsg ring, uring staged sends; eager is already per-datagram)
+  // stops holding traffic while the system is shedding.  Level 2 has no
+  // extra kernel-side effect here — the kernel socket buffers already drop
+  // on overflow, which IS the drop-oldest policy for wire traffic.
+  void SetPressure(int level) override {
+    pressure_.store(level, std::memory_order_relaxed);
+  }
+  int pressure() const { return pressure_.load(std::memory_order_relaxed); }
+
+  // Timer-heap depth, maintained as a relaxed atomic so the overload
+  // manager's gauge can read it from any thread.
+  uint64_t timer_depth() const { return timer_depth_.value(); }
+
   // See Network::SetDrainHook: hooks run after the last delivery of every
   // receive drain, before Poll() flushes the staging rings and returns.
   void SetDrainHook(EndpointId ep, std::function<void()> hook) override;
@@ -408,6 +423,11 @@ class UdpNetwork : public Network {
     }
   };
 
+  // Staging auto-flush threshold after backpressure: 1 under pressure.
+  size_t EffectiveSendBatch() const {
+    return pressure_.load(std::memory_order_relaxed) > 0 ? 1 : cfg_.send_batch;
+  }
+
   void Enqueue(Endpoint& from, uint16_t port, const Iovec& gather);
   void FlushEndpoint(Endpoint& ep);
   // One scatter-gather sendmsg(2) on `fd` (the kEager datapath).
@@ -463,6 +483,8 @@ class UdpNetwork : public Network {
   // Min-heap on due time (was: unsorted vector scanned per poll).
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   uint64_t timer_seq_ = 0;
+  RelaxedCounter timer_depth_;     // Mirrors timers_.size() for gauges.
+  std::atomic<int> pressure_{0};   // Overload backpressure level.
   BufferPool recv_pool_{65536};  // One chunk holds any datagram.
   std::vector<Bytes> recv_bufs_;  // Reusable recvmmsg targets.
   Waker waker_;

@@ -61,6 +61,11 @@ void RegisterPoolStats(MetricsRegistry& reg, const BufferPool* pool,
   reg.Counter("pool.recycled", &s->recycled);
   reg.Counter("pool.returned", &s->returned);
   reg.Counter("pool.prewarmed", &s->prewarmed);
+  // Watermark visibility: live bytes sum across pools (DeltaSince clamps the
+  // non-monotonic dips to 0); peak bytes are monotonic per pool, so kMax
+  // merges to the process-wide high-water mark.
+  reg.CounterFn("pool.live_bytes", [s]() { return s->bytes.live(); });
+  reg.CounterFn("pool.peak_bytes", [s]() { return s->bytes.peak(); }, Agg::kMax);
   if (!tag.empty()) {
     reg.Gauge("pool." + tag + ".numa_node",
               [pool]() { return static_cast<int64_t>(pool->numa_node()); });
@@ -77,6 +82,7 @@ void RegisterEndpointStats(MetricsRegistry& reg, const GroupEndpoint::Stats* s) 
   reg.Counter("ep.bypass_up_fallback", &s->bypass_up_fallback);
   reg.Counter("ep.packets_in", &s->packets_in);
   reg.Counter("ep.packed_in", &s->packed_in);
+  reg.Counter("ep.window_shed", &s->window_shed);
 }
 
 void RegisterDispatchStats(MetricsRegistry& reg) {
@@ -90,6 +96,8 @@ void RegisterHeapStats(MetricsRegistry& reg) {
   reg.Counter("heap.allocations", &s->heap_allocations);
   reg.Counter("heap.frees", &s->heap_frees);
   reg.Counter("heap.bytes_copied", &s->bytes_copied);
+  reg.CounterFn("heap.live_bytes", [s]() { return s->bytes.live(); });
+  reg.CounterFn("heap.peak_bytes", [s]() { return s->bytes.peak(); }, Agg::kMax);
 }
 
 void RegisterBypassPuntStats(MetricsRegistry& reg) {

@@ -68,6 +68,12 @@ const char* TraceKindName(TraceKind k) {
       return "wakeup";
     case TraceKind::kSnapshot:
       return "snapshot";
+    case TraceKind::kOverloadEngage:
+      return "overload_engage";
+    case TraceKind::kOverloadDisengage:
+      return "overload_disengage";
+    case TraceKind::kOverloadShed:
+      return "overload_shed";
     case TraceKind::kMaxTraceKind:
       break;
   }
@@ -136,6 +142,15 @@ void AppendEvent(JsonWriter& w, const TraceEvent& e, uint64_t base_ns) {
     char idbuf[16];
     std::snprintf(idbuf, sizeof(idbuf), "0x%x",
                   static_cast<unsigned>(e.member < 0 ? 0 : e.member));
+    w.KV("id", idbuf);
+  } else if (k == TraceKind::kOverloadEngage || k == TraceKind::kOverloadDisengage) {
+    // Each overload action engage..disengage renders as an async span keyed
+    // by the action id (offset past member ids used by migration spans).
+    w.KV("ph", k == TraceKind::kOverloadEngage ? "b" : "e");
+    w.KV("cat", "overload");
+    char idbuf[16];
+    std::snprintf(idbuf, sizeof(idbuf), "0x%x",
+                  static_cast<unsigned>(0x10000 + e.a));
     w.KV("id", idbuf);
   } else {
     w.KV("ph", "i");

@@ -1,0 +1,103 @@
+// Per-group send window: bounds application payload bytes in flight toward
+// one destination group, so a slow receiver group sheds its own new traffic
+// at the source instead of ballooning pooled buffers and dispatch queues the
+// whole process shares.
+//
+// Accounting is in payload bytes at the GroupEndpoint boundary: Cast/Send
+// reserve size × fan-out on entry, and the runtime's delivery tap releases
+// size per delivery.  Internal protocol traffic never consults the window.
+// All fields are atomics: reservations happen on whichever worker currently
+// owns the sender, releases on the receivers' workers, and the overload
+// manager resizes limits from a third.
+
+#ifndef ENSEMBLE_SRC_OVERLOAD_SEND_WINDOW_H_
+#define ENSEMBLE_SRC_OVERLOAD_SEND_WINDOW_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/counters.h"
+
+namespace ensemble {
+namespace overload {
+
+class SendWindow {
+ public:
+  SendWindow(uint64_t limit_bytes, uint64_t min_limit_bytes)
+      : initial_limit_(limit_bytes),
+        min_limit_(min_limit_bytes),
+        limit_(limit_bytes) {}
+
+  // Admission check at Cast/Send entry.  False means shed this message now.
+  // A lone oversized message is admitted into an empty window so the limit
+  // can never wedge traffic whose unit size exceeds it.  The check-then-add
+  // is intentionally non-transactional: concurrent reservers can overshoot
+  // by at most one message each, which is bounded and cheap.
+  bool TryReserve(uint64_t bytes) {
+    if (paused_.load(std::memory_order_relaxed)) {
+      sheds_++;
+      shed_bytes_ += bytes;
+      return false;
+    }
+    uint64_t flight = in_flight_.live();
+    if (flight > 0 && flight + bytes > limit_.load(std::memory_order_relaxed)) {
+      sheds_++;
+      shed_bytes_ += bytes;
+      return false;
+    }
+    in_flight_.Add(bytes);
+    reserves_++;
+    return true;
+  }
+
+  // Credited back per delivery.  Clamped at zero inside LiveCounter: loopback
+  // self-deliveries and post-decay releases can outrun the charge.
+  void Release(uint64_t bytes) { in_flight_.Sub(bytes); }
+
+  // Manager controls -------------------------------------------------------
+
+  void Shrink() {  // Halve toward the floor.
+    uint64_t cur = limit_.load(std::memory_order_relaxed);
+    uint64_t next = cur / 2 < min_limit_ ? min_limit_ : cur / 2;
+    limit_.store(next, std::memory_order_relaxed);
+  }
+  void Widen() {  // Recover: double toward the configured limit.
+    uint64_t cur = limit_.load(std::memory_order_relaxed);
+    uint64_t next = cur * 2 > initial_limit_ ? initial_limit_ : cur * 2;
+    if (next < min_limit_) {
+      next = min_limit_;
+    }
+    limit_.store(next, std::memory_order_relaxed);
+  }
+  void Pause() { paused_.store(true, std::memory_order_relaxed); }
+  void Resume() { paused_.store(false, std::memory_order_relaxed); }
+
+  // Stall escape: releases ride delivery, and deliveries can be lost (lossy
+  // sim nets, dropped non-reliable traffic at the kill mark).  The manager
+  // halves a window that shows in-flight bytes but no delivery progress so a
+  // leak degrades throughput instead of wedging the group forever.
+  void Decay() { in_flight_.Sub(in_flight_.live() / 2 + 1); }
+
+  uint64_t limit() const { return limit_.load(std::memory_order_relaxed); }
+  bool paused() const { return paused_.load(std::memory_order_relaxed); }
+  uint64_t in_flight() const { return in_flight_.live(); }
+  uint64_t peak_in_flight() const { return in_flight_.peak(); }
+  uint64_t sheds() const { return sheds_; }
+  uint64_t shed_bytes() const { return shed_bytes_; }
+  uint64_t reserves() const { return reserves_; }
+
+ private:
+  const uint64_t initial_limit_;
+  const uint64_t min_limit_;
+  std::atomic<uint64_t> limit_;
+  std::atomic<bool> paused_{false};
+  LiveCounter in_flight_;
+  RelaxedCounter sheds_;
+  RelaxedCounter shed_bytes_;
+  RelaxedCounter reserves_;
+};
+
+}  // namespace overload
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_OVERLOAD_SEND_WINDOW_H_

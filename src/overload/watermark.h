@@ -1,0 +1,58 @@
+// Hysteretic high/low watermark tracker (Envoy's watermark-buffer idiom,
+// source/common/buffer/buffer_impl.h): engage when occupancy reaches the high
+// mark, disengage only after it falls below the low mark, so an occupancy
+// that oscillates inside the [low, high) band cannot flap the state.
+//
+// Pure logic, no atomics: the overload manager serializes Update() calls, and
+// the unit tests drive it single-threaded from BufferPool live-byte readings.
+
+#ifndef ENSEMBLE_SRC_OVERLOAD_WATERMARK_H_
+#define ENSEMBLE_SRC_OVERLOAD_WATERMARK_H_
+
+#include <cstdint>
+
+namespace ensemble {
+namespace overload {
+
+class Watermark {
+ public:
+  Watermark() = default;
+  // `high` == 0 disables the mark (never engages).  `low` should be strictly
+  // below `high`; equal values degenerate to a single non-hysteretic
+  // threshold, which still works but flaps.
+  Watermark(uint64_t high, uint64_t low) : high_(high), low_(low) {}
+
+  // Feeds the current occupancy.  Returns true when the engaged state
+  // flipped on this call.
+  bool Update(uint64_t value) {
+    if (!engaged_ && high_ > 0 && value >= high_) {
+      engaged_ = true;
+      engages_++;
+      return true;
+    }
+    if (engaged_ && value < low_) {
+      engaged_ = false;
+      disengages_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool engaged() const { return engaged_; }
+  uint64_t engages() const { return engages_; }
+  uint64_t disengages() const { return disengages_; }
+  uint64_t high() const { return high_; }
+  uint64_t low() const { return low_; }
+
+ private:
+  uint64_t high_ = 0;
+  uint64_t low_ = 0;
+  bool engaged_ = false;
+  uint64_t engages_ = 0;
+  uint64_t disengages_ = 0;
+};
+
+}  // namespace overload
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_OVERLOAD_WATERMARK_H_

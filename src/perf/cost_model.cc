@@ -542,9 +542,10 @@ double StackCostOf(const CostModel& m, const EndpointConfig& ep) {
 
 std::string KnobVector::Label() const {
   char buf[128];
-  std::snprintf(buf, sizeof buf, "%s b%zu p%zu f%.1fms i%.1f", NetBackendName(backend),
-                batch, pack_window, static_cast<double>(flush_deadline) / 1e6,
-                steal_min_imbalance);
+  std::snprintf(buf, sizeof buf, "%s b%zu p%zu f%.1fms i%.1f r%zu c%zu",
+                NetBackendName(backend), batch, pack_window,
+                static_cast<double>(flush_deadline) / 1e6, steal_min_imbalance,
+                ring_capacity, credit_floor);
   return buf;
 }
 
@@ -555,6 +556,8 @@ uint32_t KnobVector::Encode(bool shared_ingress) const {
   // bits 10-16 pack window (clamped to 127)
   // bits 17-24 flush deadline in 100us units (clamped to 255)
   // bits 25-28 steal min_imbalance in halves (clamped to 15)
+  // bits 29-30 ring capacity as log4(capacity / 1024): 1k=0, 4k=1, 16k=2
+  // bit  31    credit floor: 0 = 32/link, 1 = 128/link
   uint32_t v = static_cast<uint32_t>(BackendIndex(backend)) & 0x3u;
   v |= (shared_ingress ? 1u : 0u) << 2;
   v |= (static_cast<uint32_t>(std::min<size_t>(batch, 127)) & 0x7Fu) << 3;
@@ -565,6 +568,12 @@ uint32_t KnobVector::Encode(bool shared_ingress) const {
   uint32_t halves = static_cast<uint32_t>(
       std::min(std::max(steal_min_imbalance, 0.0) * 2.0, 15.0));
   v |= (halves & 0xFu) << 25;
+  uint32_t cap_log4 = 0;
+  for (size_t c = ring_capacity; c >= 4096 && cap_log4 < 3; c /= 4) {
+    cap_log4++;
+  }
+  v |= (cap_log4 & 0x3u) << 29;
+  v |= (credit_floor > 32 ? 1u : 0u) << 31;
   return v;
 }
 
@@ -584,6 +593,30 @@ Prediction PredictThroughput(const CostModel& m, const WorkloadDesc& w,
   double pack_ns = pack > 1 ? m.pack_submsg_ns : 0;
   double per_msg_ns =
       w.stack_ns + pack_ns + wire_ns + w.cross_shard_fraction * m.ring_hop_ns;
+
+  // Credit-park stall: per-link ring credits are capacity / links after the
+  // runtime's grow-until-floor rule.  A burst whose cross-shard share
+  // overflows the sender's credit quota parks until the consumer drains —
+  // charge the overflowing fraction a second ring hop (park + wake + regrant
+  // round trip).  This is what makes ring_capacity / credit_floor live knobs:
+  // bursty cross-shard workloads buy bigger rings, local ones keep the cache-
+  // friendlier default.
+  if (w.cross_shard_fraction > 0 && w.workers > 0) {
+    size_t links = static_cast<size_t>(w.workers) + 1;
+    size_t cap = 2;
+    while (cap < k.ring_capacity) {
+      cap <<= 1;
+    }
+    while (cap / links < std::max<size_t>(1, k.credit_floor)) {
+      cap <<= 1;
+    }
+    double credits = static_cast<double>(cap / links);
+    double inflight = static_cast<double>(w.burst) * w.cross_shard_fraction;
+    if (inflight > credits) {
+      double overflow = (inflight - credits) / inflight;
+      per_msg_ns += overflow * w.cross_shard_fraction * m.ring_hop_ns;
+    }
+  }
   if (per_msg_ns <= 0) {
     return out;
   }

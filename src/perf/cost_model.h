@@ -133,6 +133,12 @@ struct KnobVector {
   size_t pack_window = 1;     // 1 = packing off.
   VTime flush_deadline = Millis(1);  // Endpoint timer driving Flush().
   double steal_min_imbalance = 4.0;
+  // Cross-shard ring provisioning (startup-only knobs: rings are sized in
+  // the ShardRuntime constructor).  The runtime grows the capacity until
+  // every link's credit quota reaches credit_floor, so the pair together
+  // determines per-link credits = capacity / (workers + 1).
+  size_t ring_capacity = 4096;
+  size_t credit_floor = 32;
 
   std::string Label() const;
   // Gauge encoding for tune.active_config (documented in autotune.h).
@@ -144,6 +150,7 @@ struct WorkloadDesc {
   double stack_ns = 0;               // StackCostNs/StackCostOf result.
   double cross_shard_fraction = 0;   // Messages that ride an MPSC ring hop.
   size_t burst = 256;                // Msgs available per flush boundary.
+  int workers = 1;                   // Shard count (sets links = workers + 1).
   // Skewed-placement workloads: work stealing will rebalance.  The predictor
   // charges detection time (the load EWMA needs ~steal_min_imbalance poll
   // cycles of ~1ms to cross the threshold) plus the calibrated steal_ns per

@@ -48,6 +48,11 @@ std::vector<perf::KnobVector> Autotuner::Lattice(const perf::CostModel& m,
   const VTime flushes[] = {Micros(500), Millis(1), Millis(2)};
   const std::vector<double> thresholds =
       steal_eligible ? std::vector<double>{2.0, 3.0, 4.0} : std::vector<double>{4.0};
+  // Ring provisioning: defaults FIRST so a workload the ring terms cannot
+  // distinguish (no cross-shard traffic) resolves to the stock configuration
+  // via Choose's first-wins tie rule.
+  const size_t ring_caps[] = {4096, 1024, 16384};
+  const size_t credit_floors[] = {32, 128};
 
   for (int b = 0; b < perf::kNumBackendTerms; b++) {
     if (!m.backend[b].available) {
@@ -61,13 +66,19 @@ std::vector<perf::KnobVector> Autotuner::Lattice(const perf::CostModel& m,
       for (size_t pack : packs) {
         for (VTime flush : flushes) {
           for (double thr : thresholds) {
-            perf::KnobVector k;
-            k.backend = backend;
-            k.batch = batch;
-            k.pack_window = pack;
-            k.flush_deadline = flush;
-            k.steal_min_imbalance = thr;
-            out.push_back(k);
+            for (size_t cap : ring_caps) {
+              for (size_t floor : credit_floors) {
+                perf::KnobVector k;
+                k.backend = backend;
+                k.batch = batch;
+                k.pack_window = pack;
+                k.flush_deadline = flush;
+                k.steal_min_imbalance = thr;
+                k.ring_capacity = cap;
+                k.credit_floor = floor;
+                out.push_back(k);
+              }
+            }
           }
         }
       }

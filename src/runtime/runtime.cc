@@ -68,6 +68,7 @@ ChannelNetwork::ReleasedEndpoint ChannelNetwork::Release(EndpointId ep) {
       local_q_.push_back(std::move(packet));
     }
   }
+  dispatch_depth_ = local_q_.size();
   return out;
 }
 
@@ -85,7 +86,7 @@ void ChannelNetwork::RouteOne(EndpointId src, EndpointId dst, const Bytes& flat)
   if (local_.count(dst) > 0) {
     // Same shard: never delivered re-entrantly from inside Send — the local
     // FIFO is drained by Poll(), mirroring the simulator's event scheduling.
-    local_q_.push_back(Packet{src, dst, false, flat});
+    EnqueueFromRing(Packet{src, dst, false, flat});
     return;
   }
   if (!rt_->RoutePacketFrom(shard_, Packet{src, dst, false, flat})) {
@@ -117,6 +118,7 @@ void ChannelNetwork::Broadcast(EndpointId src, const Iovec& gather) {
 
 void ChannelNetwork::ScheduleTimer(VTime delay, TimerFn fn) {
   timers_.push(Timer{NowNanos() + delay, timer_seq_++, std::move(fn)});
+  timer_depth_ = timers_.size();
 }
 
 VTime ChannelNetwork::NanosUntilNextTimer() const {
@@ -143,6 +145,21 @@ void ChannelNetwork::DeliverLocal(const Packet& packet) {
 
 void ChannelNetwork::DeliverFromRing(const Packet& packet) { DeliverLocal(packet); }
 
+void ChannelNetwork::EnqueueFromRing(Packet packet) {
+  local_q_.push_back(std::move(packet));
+  if (pressure_.load(std::memory_order_relaxed) >= 2 &&
+      local_q_.size() > shed_keep_) {
+    // Kill watermark: drop-oldest keeps the freshest traffic and bounds the
+    // FIFO.  Datagram semantics — reliability layers recover as from loss.
+    Packet victim = std::move(local_q_.front());
+    local_q_.pop_front();
+    stats_.dropped++;
+    overload_sheds_++;
+    ENS_TRACE(kOverloadShed, -1, 1, victim.datagram.size());
+  }
+  dispatch_depth_ = local_q_.size();
+}
+
 size_t ChannelNetwork::DrainQueues() {
   // Drain only what is queued *now*: deliveries may enqueue responses, and a
   // local ping-pong pair must not trap the worker in one Poll() forever.
@@ -157,6 +174,7 @@ size_t ChannelNetwork::DrainQueues() {
       hook();
     }
   }
+  dispatch_depth_ = local_q_.size();
   return n;
 }
 
@@ -169,6 +187,7 @@ size_t ChannelNetwork::Poll() {
     due.push_back(std::move(const_cast<Timer&>(timers_.top()).fn));
     timers_.pop();
   }
+  timer_depth_ = timers_.size();
   for (TimerFn& fn : due) {
     fn();
   }
@@ -190,7 +209,9 @@ ShardRuntime::ShardRuntime(ShardRuntimeConfig config) : config_(std::move(config
   while (cap < config_.ring_capacity) {
     cap <<= 1;
   }
-  while (cap / links_ < 32) {
+  size_t credit_floor =
+      static_cast<size_t>(std::max(1, config_.min_credits_per_link));
+  while (cap / links_ < credit_floor) {
     cap <<= 1;
   }
   credits_per_link_ = static_cast<int>(cap / links_);
@@ -288,6 +309,7 @@ void ShardRuntime::ApplyAutotune() {
   workload_.msg_bytes = at.msg_bytes;
   workload_.cross_shard_fraction = at.cross_shard_fraction;
   workload_.burst = at.burst;
+  workload_.workers = std::max(1, config_.num_workers);
   workload_.steal_eligible = at.steal_eligible && config_.steal.enabled;
   workload_.stack_ns = perf::StackCostOf(tuner_->model(), config_.ep);
   decision_ = tuner_->Choose(workload_);
@@ -298,6 +320,10 @@ void ShardRuntime::ApplyAutotune() {
   config_.net.send_batch = config_.net.recv_batch = decision_.knobs.batch;
   config_.ep.pack_messages = decision_.knobs.pack_window > 1;
   config_.ep.pack_window = decision_.knobs.pack_window;
+  // Ring provisioning knobs land before the constructor sizes the rings
+  // (ApplyAutotune runs first), so the credit lattice is startup-tunable.
+  config_.ring_capacity = decision_.knobs.ring_capacity;
+  config_.min_credits_per_link = static_cast<int>(decision_.knobs.credit_floor);
   if (config_.ep.timer_interval > 0) {
     // The endpoint's periodic timer is the flush deadline; a config that
     // turned timers off entirely (manual-flush benches) keeps them off.
@@ -346,6 +372,13 @@ bool ShardRuntime::Build(int n, int group_size) {
     int member = i;
     ep->OnDeliver([this, counter, member](const Event& ev) {
       counter->fetch_add(1, std::memory_order_relaxed);
+      // Delivery credits the sender's group window (application traffic is
+      // intra-group, so the receiving member shares the sender's window).
+      overload::SendWindow* win =
+          members_[static_cast<size_t>(member)]->send_window();
+      if (win != nullptr) {
+        win->Release(ev.payload.size());
+      }
       if (config_.on_deliver) {
         config_.on_deliver(member, ev);
       }
@@ -381,8 +414,94 @@ bool ShardRuntime::Build(int n, int group_size) {
       }
     }
   }
+  SetupOverload();
   RegisterMetrics();
   return true;
+}
+
+void ShardRuntime::SetupOverload() {
+  if (!config_.overload.enabled) {
+    return;
+  }
+  overload_mgr_ = std::make_unique<overload::OverloadManager>(
+      config_.overload, static_cast<int>(groups_.size()));
+  // Gate every member's Cast/Send on its group's shared send window.
+  for (size_t g = 0; g < groups_.size(); g++) {
+    overload::SendWindow* win = overload_mgr_->window(static_cast<int>(g));
+    for (int member : groups_[g]) {
+      members_[static_cast<size_t>(member)]->SetSendWindow(win);
+    }
+  }
+  for (auto& worker : workers_) {
+    if (worker->chan != nullptr) {
+      worker->chan->set_shed_keep(config_.overload.kill_dispatch_keep);
+    }
+  }
+  overload::OverloadSignals sig;
+  sig.live_bytes = [this]() {
+    // Buffered bytes process-wide: heap chunks (channel backend payloads,
+    // oversized buffers) plus every shard's receive-pool chunks in flight.
+    uint64_t bytes = GlobalHeapBufferStats().bytes.live();
+    for (const auto& worker : workers_) {
+      if (worker->udp != nullptr) {
+        bytes += worker->udp->recv_pool().stats().bytes.live();
+      }
+    }
+    return bytes;
+  };
+  sig.ring_occupancy_pm = [this]() {
+    uint64_t pm = 0;
+    for (const auto& worker : workers_) {
+      size_t cap = worker->inbox->capacity();
+      if (cap > 0) {
+        pm = std::max(pm, worker->inbox->SizeApprox() * 1000 / cap);
+      }
+    }
+    return pm;
+  };
+  sig.dispatch_backlog = [this]() {
+    uint64_t depth = 0;
+    for (const auto& worker : workers_) {
+      if (worker->chan != nullptr) {
+        depth = std::max(depth, worker->chan->dispatch_depth());
+      }
+    }
+    return depth;
+  };
+  sig.timer_backlog = [this]() {
+    uint64_t depth = 0;
+    for (const auto& worker : workers_) {
+      uint64_t d = worker->udp != nullptr ? worker->udp->timer_depth()
+                                          : worker->chan->timer_depth();
+      depth = std::max(depth, d);
+    }
+    return depth;
+  };
+  sig.delivered_total = [this]() { return total_delivered(); };
+  overload_mgr_->InstallSignals(std::move(sig));
+
+  overload::OverloadActions act;
+  act.set_pressure = [this](int level) {
+    // Atomic per-backend store; safe from whichever worker evaluates.
+    for (const auto& worker : workers_) {
+      worker->net->SetPressure(level);
+    }
+  };
+  act.flush_all = [this]() {
+    // Tighten-flush engage: kick every shard to emit staged traffic now
+    // instead of waiting out its periodic flush deadline.
+    for (int s = 0; s < num_workers(); s++) {
+      Post(s, [this, s]() {
+        Worker& w = *workers_[static_cast<size_t>(s)];
+        for (int m = 0; m < n(); m++) {
+          if (w.resident[static_cast<size_t>(m)] != 0) {
+            members_[static_cast<size_t>(m)]->Flush();
+          }
+        }
+      });
+    }
+  };
+  overload_mgr_->InstallActions(std::move(act));
 }
 
 void ShardRuntime::RegisterMetrics() {
@@ -447,6 +566,18 @@ void ShardRuntime::RegisterMetrics() {
   }
   for (const auto& member : members_) {
     RegisterEndpointStats(metrics_, &member->stats());
+  }
+  if (overload_mgr_ != nullptr) {
+    overload_mgr_->RegisterMetrics(metrics_);
+    metrics_.CounterFn("overload.dispatch_shed", [this]() {
+      uint64_t dropped = 0;
+      for (const auto& worker : workers_) {
+        if (worker->chan != nullptr) {
+          dropped += worker->chan->overload_sheds();
+        }
+      }
+      return dropped;
+    });
   }
   RegisterGlobalStats(metrics_);
 }
@@ -641,9 +772,26 @@ void ShardRuntime::HoldOwnInbox(int shard) {
   Worker& w = *workers_[static_cast<size_t>(shard)];
   size_t cap = w.inbox->capacity() * 4;  // Backstop, not a real limit.
   ShardMsg msg;
-  while (w.held.size() < cap && w.inbox->TryPop(&msg)) {
+  while (w.inbox->TryPop(&msg)) {
     GrantCredit(shard, msg.src, 1);
+    if (msg.is_packet && w.chan != nullptr) {
+      // Channel packets defer straight into the dispatch FIFO (a plain
+      // append — no stack entry, so safe while parked mid-send).  Crucially
+      // this keeps credits flowing under SUSTAINED overload: if packets
+      // counted against the `held` backstop, two flooding workers would each
+      // fill their held deque, stop popping, stop granting, and wedge.  The
+      // FIFO is the queue the overload manager watermarks and kill-sheds, so
+      // the overflow is observable and bounded instead of hidden and fatal.
+      if (msg.post_ns != 0) {
+        delivery_latency_.Observe(NowNanos() - msg.post_ns);
+      }
+      w.chan->EnqueueFromRing(std::move(msg.packet));
+      continue;
+    }
     w.held.push_back(std::move(msg));
+    if (w.held.size() >= cap) {
+      break;  // Backstop for tasks and shared-ingress UDP packets only.
+    }
   }
 }
 
@@ -806,7 +954,10 @@ void ShardRuntime::ProcessMsg(int shard, ShardMsg msg) {
   }
   if (msg.is_packet) {
     if (w.chan != nullptr) {
-      w.chan->DeliverFromRing(msg.packet);
+      // Deferred, not delivered in place: ALL ring packets funnel through the
+      // dispatch FIFO in pop order, so packets enqueued by a parked
+      // HoldOwnInbox and packets popped here keep per-sender FIFO.
+      w.chan->EnqueueFromRing(std::move(msg.packet));
     } else if (w.udp != nullptr && w.udp->shared_ingress()) {
       // Shared-ingress re-route: a listener miss elsewhere sent this packet
       // through the home shard to us (the owner).
@@ -945,6 +1096,11 @@ void ShardRuntime::WorkerLoop(int shard) {
     size_t events = DrainDeferred(shard);
     events += DrainInbox(shard);
     events += w.udp != nullptr ? w.udp->Poll() : w.chan->Poll();
+    if (overload_mgr_ != nullptr) {
+      // Deadline-elected: exactly one worker wins the CAS per poll interval,
+      // so manager overhead does not scale with shard count.
+      overload_mgr_->MaybePoll(NowNanos());
+    }
     if (events > 0) {
       PublishLoad(shard, events, NowNanos() - t0);
       idle_streak = 0;

@@ -82,6 +82,7 @@
 #include "src/net/udp.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/overload/manager.h"
 #include "src/runtime/autotune.h"
 #include "src/util/mpsc_ring.h"
 #include "src/util/waker.h"
@@ -123,8 +124,16 @@ struct ShardRuntimeConfig {
   std::vector<StackMode> member_modes;
   NetBackendConfig net;          // UDP datapath backend + batching knobs.
   size_t ring_capacity = 4096;   // Per-worker cross-shard inbox slots.
+  // Per-link credit floor: ring capacity grows (power-of-two) until every
+  // link's quota (capacity / (workers+1)) reaches this.  A knob because the
+  // autotuner folds ring capacity and credit budgets into its lattice.
+  int min_credits_per_link = 32;
   VTime poll_slice = Millis(5);  // Max idle block per worker loop iteration.
   StealConfig steal;             // Adaptive rebalancing (default off).
+  // End-to-end overload control (src/overload/): per-group send windows on
+  // every member, a manager polled from the shard loops, and graduated
+  // backpressure into the backends.  Default off: no gate, no polling.
+  overload::OverloadConfig overload;
   // Model-driven knob selection (autotune.h).  When enabled, the constructor
   // resolves a cost model, enumerates the knob lattice, and OVERRIDES
   // net.backend/batch, ep.pack_*, ep.timer_interval (only when nonzero) and
@@ -205,6 +214,13 @@ class ChannelNetwork : public Network {
   void ScheduleTimer(VTime delay, TimerFn fn) override;
   VTime Now() const override { return NowNanos(); }
   void SetDrainHook(EndpointId ep, std::function<void()> hook) override;
+  // Overload backpressure: at level >= 2 (kill watermark) the dispatch FIFO
+  // drops its OLDEST entry once depth exceeds the shed keep — channel traffic
+  // is datagram-semantics, so layers recover exactly as from a lossy wire.
+  void SetPressure(int level) override {
+    pressure_.store(level, std::memory_order_relaxed);
+  }
+  void set_shed_keep(size_t keep) { shed_keep_ = keep; }
 
   // Ownership handoff (owning threads only; sequencing via the rings).
   struct ReleasedEndpoint {
@@ -221,7 +237,13 @@ class ChannelNetwork : public Network {
   bool Attached(EndpointId ep) const { return local_.count(ep) > 0; }
 
   // Owning-thread entry points used by the runtime's worker loop.
-  void DeliverFromRing(const Packet& packet);  // Ring drain: deliver now.
+  void DeliverFromRing(const Packet& packet);  // Migration replay: deliver now.
+  // Normal ring drain: defer into the dispatch FIFO instead of delivering in
+  // place.  A worker parked mid-send can keep popping its own ring (a FIFO
+  // append enters no protocol stack) and granting credits, so sustained
+  // overload lands in the one queue the overload manager watermarks and
+  // kill-sheds rather than wedging the credit loop.
+  void EnqueueFromRing(Packet packet);
   size_t Poll();  // Drain the local FIFO + run due timers + drain hooks.
   // The FIFO/hook half of Poll() without firing timers: the post-Stop sweep
   // uses it so periodic timers can't regenerate traffic forever.
@@ -229,6 +251,12 @@ class ChannelNetwork : public Network {
   VTime NanosUntilNextTimer() const;
 
   const NetworkStats& stats() const { return stats_; }
+  // Overload signals (read cross-thread by the manager's evaluating worker):
+  // mirrors of the dispatch FIFO depth and timer-heap depth, updated by the
+  // owning thread at every push/pop boundary.
+  uint64_t dispatch_depth() const { return dispatch_depth_.value(); }
+  uint64_t timer_depth() const { return timer_depth_.value(); }
+  uint64_t overload_sheds() const { return overload_sheds_.value(); }
 
  private:
   struct Timer {
@@ -251,6 +279,11 @@ class ChannelNetwork : public Network {
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   uint64_t timer_seq_ = 0;
   NetworkStats stats_;
+  std::atomic<int> pressure_{0};
+  size_t shed_keep_ = 4096;
+  RelaxedCounter dispatch_depth_;
+  RelaxedCounter timer_depth_;
+  RelaxedCounter overload_sheds_;
 };
 
 class ShardRuntime {
@@ -324,6 +357,16 @@ class ShardRuntime {
   // chose a configuration); knobs/predictions may be updated by the retune
   // thread, so read after Stop() or before Start() for exact values.
   const TuneDecision& tune_decision() const { return decision_; }
+
+  // The overload manager (nullptr unless config.overload.enabled).  Exposes
+  // pressure, per-group send windows, and action counters; tests/benches may
+  // also ForcePoll through it.
+  overload::OverloadManager* overload_manager() { return overload_mgr_.get(); }
+  // Join admission under overload: the harness consults this before adding a
+  // member to a group.  Always true when the manager is off or idle.
+  bool AcceptingJoins() {
+    return overload_mgr_ == nullptr || overload_mgr_->AcceptingJoins();
+  }
 
   // The unified metrics registry: every backend, ring, waker, pool, endpoint
   // and scheduler counter is registered here during Build().  Callers may add
@@ -410,6 +453,9 @@ class ShardRuntime {
   void PinToCore(int shard);
   void RegisterMetrics();
   void SnapshotterLoop();
+  // Build() helper: constructs the overload manager, gates every member on
+  // its group's send window, and wires signals/actions into the shards.
+  void SetupOverload();
   // Constructor helper: resolves the cost model, picks the predicted-best
   // knob vector, and rewrites config_ before any worker is created.
   void ApplyAutotune();
@@ -456,6 +502,7 @@ class ShardRuntime {
   std::vector<EndpointId> all_ids_;     // member index → id.
   std::vector<std::vector<int>> groups_;  // group → member indices.
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> delivered_;
+  std::unique_ptr<overload::OverloadManager> overload_mgr_;
 
   // Credit state: links_ = num_workers + 1 (index W = external producers).
   size_t links_ = 0;

@@ -14,6 +14,7 @@ BufferChunk* HeapChunk(size_t capacity) {
   auto* chunk = new (mem) BufferChunk();
   chunk->capacity = static_cast<uint32_t>(capacity);
   GlobalHeapBufferStats().heap_allocations++;
+  GlobalHeapBufferStats().bytes.Add(capacity);
   return chunk;
 }
 
@@ -23,6 +24,7 @@ void FreeChunk(BufferChunk* chunk) {
     return;
   }
   GlobalHeapBufferStats().heap_frees++;
+  GlobalHeapBufferStats().bytes.Sub(chunk->capacity);
   chunk->~BufferChunk();
   ::operator delete(chunk);
 }

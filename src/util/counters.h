@@ -47,6 +47,37 @@ class RelaxedCounter {
   std::atomic<uint64_t> v_;
 };
 
+// Live/peak pair for byte-level occupancy accounting (the Envoy
+// watermark-buffer idiom needs both: live bytes drive the watermark state
+// machine, peak bytes prove boundedness after the fact).  Add/Sub are relaxed
+// atomics like RelaxedCounter; peak is maintained with a CAS-max loop so
+// concurrent adders can't lose an observed high-water mark.
+class LiveCounter {
+ public:
+  void Add(uint64_t d) {
+    uint64_t now = live_.fetch_add(d, std::memory_order_relaxed) + d;
+    uint64_t seen = peak_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !peak_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
+  }
+  // Clamped at zero: releases can transiently outrun reserves (e.g. loopback
+  // self-delivery releasing a window that never charged for it).
+  void Sub(uint64_t d) {
+    uint64_t prev = live_.load(std::memory_order_relaxed);
+    uint64_t next;
+    do {
+      next = prev > d ? prev - d : 0;
+    } while (!live_.compare_exchange_weak(prev, next, std::memory_order_relaxed));
+  }
+  uint64_t live() const { return live_.load(std::memory_order_relaxed); }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> live_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
 }  // namespace ensemble
 
 #endif  // ENSEMBLE_SRC_UTIL_COUNTERS_H_

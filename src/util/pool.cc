@@ -68,11 +68,13 @@ Bytes BufferPool::Allocate(size_t len) {
   } else {
     chunk = NewChunk();
   }
+  stats_.bytes.Add(chunk_size_);
   return Bytes::FromChunk(chunk, 0, len);
 }
 
 void BufferPool::Recycle(BufferChunk* chunk) {
   stats_.returned++;
+  stats_.bytes.Sub(chunk_size_);
   free_.push_back(chunk);
 }
 

@@ -26,6 +26,11 @@ struct PoolStats {
   RelaxedCounter recycled = 0;      // Chunks served from the freelist.
   RelaxedCounter returned = 0;      // Chunks released back to the pool.
   RelaxedCounter prewarmed = 0;     // Chunks pre-faulted by Prewarm().
+  // Bytes currently held by live (handed-out, not yet recycled) chunks, at
+  // chunk granularity, and the high-water mark.  Freelist chunks are not
+  // live; oversized requests fall to the heap and show up in HeapBufferStats
+  // instead.  The overload manager's pool watermark reads `bytes.live()`.
+  LiveCounter bytes;
 };
 
 // Fixed-size-class chunk pool.  Not thread-safe: Ensemble stacks are
@@ -81,6 +86,11 @@ struct HeapBufferStats {
   RelaxedCounter heap_allocations = 0;
   RelaxedCounter heap_frees = 0;
   RelaxedCounter bytes_copied = 0;  // Payload bytes memcpy'd by Bytes::Copy/Flatten.
+  // Live/peak bytes across all outstanding heap chunks, maintained at
+  // HeapChunk/FreeChunk in bytes.cc (the only two sites that know capacity at
+  // both ends).  Process-wide: this is the balloon the overload manager
+  // bounds when a slow receiver backs up flattened channel payloads.
+  LiveCounter bytes;
 };
 HeapBufferStats& GlobalHeapBufferStats();
 

@@ -126,6 +126,20 @@ TEST(CostModelTest, EncodePacksEveryKnobDistinctly) {
   EXPECT_EQ((enc >> 17) & 0xFFu, 10u);        // Flush deadline, 100us units.
   EXPECT_EQ((enc >> 25) & 0xFu, 6u);          // Threshold, halves.
   EXPECT_NE(k.Label().find("uring"), std::string::npos);
+
+  // Ring provisioning bits (29-31).
+  k.ring_capacity = 16384;
+  k.credit_floor = 128;
+  enc = k.Encode(true);
+  EXPECT_EQ((enc >> 29) & 0x3u, 2u);          // log4(16384/1024).
+  EXPECT_EQ((enc >> 31) & 0x1u, 1u);          // Raised credit floor.
+  k.ring_capacity = 1024;
+  k.credit_floor = 32;
+  enc = k.Encode(true);
+  EXPECT_EQ((enc >> 29) & 0x3u, 0u);
+  EXPECT_EQ((enc >> 31) & 0x1u, 0u);
+  EXPECT_NE(k.Label().find("r1024"), std::string::npos);
+  EXPECT_NE(k.Label().find("c32"), std::string::npos);
 }
 
 TEST(AutotunerTest, LatticeRespectsAvailabilityAndEagerShape) {
@@ -158,6 +172,47 @@ TEST(AutotunerTest, ChoosePicksTheLatticeArgmax) {
               perf::PredictThroughput(tuner.model(), w, k).msgs_per_sec);
   }
   EXPECT_NE(d.Describe().find("autotune:"), std::string::npos);
+}
+
+// Lattice-argmax stability for the ring knobs: a workload the ring terms
+// cannot distinguish (no cross-shard traffic) must resolve to the stock
+// 4096/32 provisioning via first-wins ties, while a bursty cross-shard
+// workload must buy more credits — and the argmax stays the lattice maximum.
+TEST(AutotunerTest, RingKnobsStableOnLocalWorkloadsGrowUnderBursts) {
+  Autotuner tuner(perf::CostModel::Defaults());
+
+  perf::WorkloadDesc local;
+  local.stack_ns = 500;
+  local.cross_shard_fraction = 0.0;  // Ring knobs are inert: all candidates tie.
+  local.workers = 4;
+  TuneDecision d = tuner.Choose(local);
+  ASSERT_TRUE(d.valid);
+  EXPECT_EQ(d.knobs.ring_capacity, 4096u);  // Tie resolves to the default.
+  EXPECT_EQ(d.knobs.credit_floor, 32u);
+
+  perf::WorkloadDesc bursty;
+  bursty.stack_ns = 500;
+  bursty.cross_shard_fraction = 1.0;  // Every message rings.
+  bursty.burst = 8192;                // Far beyond 4096/(4+1) credits.
+  bursty.workers = 4;
+  TuneDecision b = tuner.Choose(bursty);
+  ASSERT_TRUE(b.valid);
+  // The credit-park term penalizes undersized rings, so the argmax buys the
+  // larger provisioning on at least one axis.
+  EXPECT_TRUE(b.knobs.ring_capacity > 4096u || b.knobs.credit_floor > 32u)
+      << b.knobs.Label();
+  EXPECT_GE(b.predicted.msgs_per_sec, 0);
+  // Both decisions are true lattice argmaxes (first-wins on ties).
+  for (const perf::KnobVector& k :
+       Autotuner::Lattice(tuner.model(), /*steal_eligible=*/false)) {
+    EXPECT_GE(d.predicted.msgs_per_sec,
+              perf::PredictThroughput(tuner.model(), local, k).msgs_per_sec);
+    EXPECT_GE(b.predicted.msgs_per_sec,
+              perf::PredictThroughput(tuner.model(), bursty, k).msgs_per_sec);
+  }
+  // Determinism: the same workload re-chosen yields the identical vector.
+  TuneDecision d2 = tuner.Choose(local);
+  EXPECT_EQ(d2.knobs.Label(), d.knobs.Label());
 }
 
 TEST(AutotunerTest, ObserveTracksErrorEwma) {

@@ -558,6 +558,15 @@ TEST(ShardRuntimeTest, MigrateMemberSharedIngressStaysInOrder) {
   ASSERT_TRUE(WaitUntil([&] { return rt.total_delivered() >= mark + 100u; }, 5000));
 
   tap.echo.store(false);
+  // Echo off stops new sends; pt2pt retransmits whatever is still in flight.
+  // Wait for both streams to quiesce BEFORE Stop() — unlike the channel
+  // backend, datagrams sitting in kernel queues at shutdown read as loss.
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        return tap.next_rx[1].load() == tap.next_tx[0].load() &&
+               tap.next_rx[0].load() == tap.next_tx[1].load();
+      },
+      5000));
   rt.Stop();
   EXPECT_TRUE(tap.in_order.load()) << "per-sender FIFO broke across a handoff";
   EXPECT_EQ(rt.SchedStats().steals, 4u);
@@ -652,6 +661,54 @@ TEST(ShardRuntimeTest, MutualPushBackpressureDrainsWithoutDeadlock) {
   EXPECT_EQ(rings.full_fails.value(), 0u);  // Credits made full-ring impossible.
   EXPECT_EQ(rings.pushed.value(), rings.popped.value());
   EXPECT_GE(rt.SchedStats().credit_parks, 1u);  // The burst outran the quota.
+}
+
+// Credit ring at saturation: sustained offered load ~10x what the per-link
+// credit quota can hold in flight.  The credit protocol must make full-ring
+// pushes impossible (full_fails == 0 — senders park instead) while the
+// consumer's drain keeps granting credits back, so every message eventually
+// lands: bounded memory AND progress, never deadlock.
+TEST(ShardRuntimeTest, CreditRingSaturationParksAndDrainsAtTenX) {
+  ShardRuntimeConfig config;
+  config.backend = ShardBackend::kChannel;
+  config.num_workers = 2;
+  config.ring_capacity = 128;  // Credits per link = 128 / 3 ~ 42.
+  config.ep = FastEndpointConfig();
+  config.ep.params.pt2pt_window = 1u << 30;
+  SeqTap tap;
+  tap.echo.store(false);
+  std::vector<GroupEndpoint*> eps(2, nullptr);
+  WireSeqTap(&config, &tap, &eps);
+
+  ShardRuntime rt(config);
+  ASSERT_TRUE(rt.Build(2));  // One pair spread across both shards.
+  ASSERT_NE(rt.ShardOf(0), rt.ShardOf(1));
+  eps[0] = &rt.member(0);
+  eps[1] = &rt.member(1);
+  rt.Start();
+  // 10 sustained waves, each ~10x the credit quota, from both directions.
+  constexpr int kWaves = 10;
+  constexpr int kPerWave = 400;
+  for (int wave = 0; wave < kWaves; wave++) {
+    for (int m = 0; m < 2; m++) {
+      rt.PostToMember(m, [&tap, m](GroupEndpoint& ep) {
+        Rank partner = m == 0 ? 1 : 0;
+        for (int i = 0; i < kPerWave; i++) {
+          uint64_t seq = tap.next_tx[m].fetch_add(1, std::memory_order_relaxed);
+          ep.Send(partner, Iovec(SeqPayload(seq)));
+        }
+      });
+    }
+  }
+  constexpr uint64_t kTotal = 2ull * kWaves * kPerWave;
+  bool done = WaitUntil([&] { return rt.total_delivered() >= kTotal; }, 20000);
+  rt.Stop();
+  EXPECT_TRUE(done) << "delivered " << rt.total_delivered();
+  EXPECT_TRUE(tap.in_order.load());
+  MpscRingStats rings = rt.AggregateRingStats();
+  EXPECT_EQ(rings.full_fails.value(), 0u);  // Credits, not full-ring retries.
+  EXPECT_EQ(rings.pushed.value(), rings.popped.value());
+  EXPECT_GE(rt.SchedStats().credit_parks, 1u);  // The flood outran the quota.
 }
 
 TEST(ShardRuntimeTest, PinCoresRunsEverywhere) {

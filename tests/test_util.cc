@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
+#include "src/overload/watermark.h"
+#include "src/util/counters.h"
 #include "src/util/hash.h"
+#include "src/util/pool.h"
 #include "src/util/rng.h"
 #include "src/util/seqwin.h"
 #include "src/util/vtime.h"
@@ -161,6 +165,69 @@ TEST(VTimeTest, UnitConversions) {
   EXPECT_EQ(Millis(1), 1000u * 1000u);
   EXPECT_EQ(Seconds(1), 1000u * 1000u * 1000u);
   EXPECT_EQ(Millis(3) + Micros(500), 3500000u);
+}
+
+TEST(LiveCounterTest, TracksLiveAndPeakWithClampedSub) {
+  LiveCounter c;
+  c.Add(100);
+  c.Add(50);
+  EXPECT_EQ(c.live(), 150u);
+  EXPECT_EQ(c.peak(), 150u);
+  c.Sub(120);
+  EXPECT_EQ(c.live(), 30u);
+  EXPECT_EQ(c.peak(), 150u);  // Peak is monotonic.
+  c.Sub(1000);                // Over-release clamps at zero, never wraps.
+  EXPECT_EQ(c.live(), 0u);
+  c.Add(10);
+  EXPECT_EQ(c.live(), 10u);
+  EXPECT_EQ(c.peak(), 150u);
+}
+
+TEST(BufferPoolTest, LiveBytesFollowAllocateAndRecycle) {
+  BufferPool pool(4096);
+  EXPECT_EQ(pool.stats().bytes.live(), 0u);
+  {
+    Bytes a = pool.Allocate(100);   // Chunk granularity, not request size.
+    Bytes b = pool.Allocate(4096);
+    EXPECT_EQ(pool.stats().bytes.live(), 2u * 4096u);
+    EXPECT_EQ(pool.stats().bytes.peak(), 2u * 4096u);
+  }
+  // Both chunks recycled to the freelist: freelist chunks are not live.
+  EXPECT_EQ(pool.stats().bytes.live(), 0u);
+  EXPECT_EQ(pool.stats().bytes.peak(), 2u * 4096u);
+  // Oversized requests go to the heap, not the pool's live accounting.
+  uint64_t heap_before = GlobalHeapBufferStats().bytes.live();
+  {
+    Bytes big = pool.Allocate(100000);
+    EXPECT_EQ(pool.stats().bytes.live(), 0u);
+    EXPECT_GE(GlobalHeapBufferStats().bytes.live(), heap_before + 100000u);
+  }
+  EXPECT_EQ(GlobalHeapBufferStats().bytes.live(), heap_before);
+}
+
+// The overload manager's idiom end to end: pool occupancy driving a
+// hysteretic watermark.  Crossing high engages once; draining through the
+// band holds; only dropping below low disengages.
+TEST(BufferPoolTest, LiveBytesDriveWatermarkWithHysteresis) {
+  BufferPool pool(1024);
+  overload::Watermark mark(/*high=*/4 * 1024, /*low=*/2 * 1024);
+  std::vector<Bytes> held;
+  int flips = 0;
+  for (int i = 0; i < 6; i++) {  // 0 -> 6 KiB: one engage at 4 KiB.
+    held.push_back(pool.Allocate(512));
+    flips += mark.Update(pool.stats().bytes.live()) ? 1 : 0;
+  }
+  EXPECT_TRUE(mark.engaged());
+  EXPECT_EQ(flips, 1);
+  held.resize(3);  // 3 KiB: inside the band, still engaged.
+  EXPECT_FALSE(mark.Update(pool.stats().bytes.live()));
+  EXPECT_TRUE(mark.engaged());
+  held.resize(1);  // 1 KiB: below low, disengages.
+  EXPECT_TRUE(mark.Update(pool.stats().bytes.live()));
+  EXPECT_FALSE(mark.engaged());
+  EXPECT_EQ(mark.engages(), 1u);
+  EXPECT_EQ(mark.disengages(), 1u);
+  EXPECT_EQ(pool.stats().bytes.peak(), 6u * 1024u);  // Chunk granularity.
 }
 
 }  // namespace
