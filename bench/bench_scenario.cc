@@ -1,0 +1,279 @@
+// Seeded adversarial scenario sweeps as an executable reliability gate.
+//
+// Where the other benches measure performance shapes, this one measures
+// *behavioral coverage*: it drives the scenario engine (src/scenario) across
+// its classes — loss/reorder bursts, partition + heal, churn storms,
+// placement-skew flips, and the mixed soak — and fails the process unless
+// every run comes back green under the spec monitors and the span-shape
+// checker.  Every scenario is reproducible from the 64-bit seed printed with
+// it; a failing run dumps SCHEDULE_<class>_<seed>.txt (and, for
+// runtime-plane scenarios, TRACE_scenario_<seed>.json) into the working
+// directory.
+//
+// Modes (composable; plain `--smoke` runs sweep + soak + inject with CI-size
+// budgets):
+//   --sweep     bounded seed sweep over every scenario class
+//   --soak      the acceptance gate: >= 1000 concurrent groups mixing churn,
+//               partitions, and loss, every oracle green (--groups=N to size)
+//   --inject    oracle self-test: sweeps with a planted fifo_buggy /
+//               total_buggy layer MUST be caught, and the reproducing seed
+//               printed — a sweep that cannot see planted bugs is vacuous
+//   --seed=N    base seed (default fixed so CI runs are reproducible)
+//
+// Emits BENCH_scenario.json with the full census of what the schedules did.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/scenario/scenario.h"
+
+namespace ensemble {
+namespace {
+
+using scenario::RunScenario;
+using scenario::RunSeedSweep;
+using scenario::ScenarioClass;
+using scenario::ScenarioClassName;
+using scenario::ScenarioConfig;
+using scenario::ScenarioResult;
+using scenario::SweepResult;
+
+constexpr uint64_t kDefaultSeed = 0xE25E3B1E;
+
+struct ModeReport {
+  std::string name;
+  bool ok = false;
+  int runs = 0;
+  int failures = 0;
+  std::vector<uint64_t> failing_seeds;
+  ScenarioResult census;  // Last (or representative) run for the artifact.
+};
+
+void PrintResult(const ScenarioResult& r) {
+  std::printf("%s\n", r.ToString().c_str());
+  for (const auto& v : r.violations) {
+    std::printf("  %s\n", v.c_str());
+  }
+}
+
+// ---- --sweep: every class, `count` seeds each, wall-clock bounded ----------
+
+ModeReport RunSweep(uint64_t base_seed, int count, int64_t budget_ms) {
+  ModeReport rep;
+  rep.name = "sweep";
+  rep.ok = true;
+  const ScenarioClass classes[] = {
+      ScenarioClass::kLossBurst, ScenarioClass::kPartitionHeal,
+      ScenarioClass::kChurnStorm, ScenarioClass::kShardSkew};
+  for (ScenarioClass cls : classes) {
+    ScenarioConfig cfg;
+    cfg.cls = cls;
+    cfg.artifact_dir = ".";
+    std::printf("sweep %-14s seeds 0x%" PRIx64 "..+%d (budget %" PRId64
+                "ms)\n",
+                ScenarioClassName(cls), base_seed, count, budget_ms);
+    SweepResult s = RunSeedSweep(cfg, base_seed, count, budget_ms, nullptr);
+    rep.runs += s.runs;
+    rep.failures += s.failures;
+    for (uint64_t seed : s.failing_seeds) {
+      rep.failing_seeds.push_back(seed);
+      std::printf("  FAIL %s: reproduce with --seed=0x%" PRIx64 "\n",
+                  ScenarioClassName(cls), seed);
+    }
+    rep.ok = rep.ok && s.ok();
+  }
+  std::printf("sweep: %d runs, %d failures\n", rep.runs, rep.failures);
+  return rep;
+}
+
+// ---- --soak: the thousand-group acceptance gate ----------------------------
+
+ModeReport RunSoak(uint64_t seed, int groups) {
+  ModeReport rep;
+  rep.name = "soak";
+  ScenarioConfig cfg;
+  cfg.cls = ScenarioClass::kSoak;
+  cfg.seed = seed;
+  cfg.num_groups = groups;
+  cfg.artifact_dir = ".";
+  std::printf("soak: %d groups, seed 0x%" PRIx64 "\n", groups, seed);
+  ScenarioResult r = RunScenario(cfg);
+  PrintResult(r);
+  rep.runs = 1;
+  rep.census = r;
+  // Green AND genuinely adversarial: a soak that scheduled no churn, no
+  // partition, or no loss did not earn its name.
+  bool adversarial = r.crashes > 0 && r.partitions > 0 && r.loss_bursts > 0 &&
+                     r.migrations > 0;
+  if (!adversarial) {
+    std::printf("soak: schedule was not adversarial enough (crashes=%" PRIu64
+                " partitions=%" PRIu64 " loss_bursts=%" PRIu64
+                " migrations=%" PRIu64 ")\n",
+                r.crashes, r.partitions, r.loss_bursts, r.migrations);
+  }
+  rep.ok = r.ok && adversarial && r.groups_run >= groups;
+  if (!r.ok) {
+    rep.failures = 1;
+    rep.failing_seeds.push_back(seed);
+    std::printf("soak: FAIL, reproduce with --soak --seed=0x%" PRIx64 "\n",
+                seed);
+  }
+  return rep;
+}
+
+// ---- --inject: the oracles must catch planted bugs -------------------------
+
+ModeReport RunInject(uint64_t base_seed, int count, int64_t budget_ms) {
+  ModeReport rep;
+  rep.name = "inject";
+  rep.ok = true;
+  struct Plant {
+    const char* what;
+    ScenarioClass cls;
+    bool fifo;
+    bool total;
+  };
+  const Plant plants[] = {
+      {"fifo_buggy under loss bursts", ScenarioClass::kLossBurst, true, false},
+      {"fifo_buggy under churn", ScenarioClass::kChurnStorm, true, false},
+      {"total_buggy under loss bursts", ScenarioClass::kLossBurst, false, true},
+  };
+  for (const Plant& p : plants) {
+    ScenarioConfig cfg;
+    cfg.cls = p.cls;
+    cfg.inject_fifo_bug = p.fifo;
+    cfg.inject_total_bug = p.total;
+    // No artifact dir: these failures are the expected outcome, not debris.
+    SweepResult s = RunSeedSweep(cfg, base_seed, count, budget_ms, nullptr);
+    rep.runs += s.runs;
+    bool caught = s.failures > 0;
+    std::printf("inject %-28s %d/%d seeds caught it%s", p.what, s.failures,
+                s.runs, caught ? "" : "  <-- ORACLES ARE BLIND");
+    if (caught) {
+      std::printf(" (first reproducing seed 0x%" PRIx64 ")",
+                  s.failing_seeds.front());
+    }
+    std::printf("\n");
+    if (!caught) {
+      rep.failures++;
+      rep.ok = false;
+    }
+  }
+  return rep;
+}
+
+// ---- Artifact --------------------------------------------------------------
+
+void WriteArtifact(const std::vector<ModeReport>& reports, bool ok) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  AppendBenchHeader(w, "scenario");
+  w.KV("ok", ok);
+  w.Key("modes");
+  w.BeginArray();
+  for (const ModeReport& m : reports) {
+    w.BeginObject();
+    w.KV("mode", m.name);
+    w.KV("ok", m.ok);
+    w.KV("runs", static_cast<int64_t>(m.runs));
+    w.KV("failures", static_cast<int64_t>(m.failures));
+    w.Key("failing_seeds");
+    w.BeginArray();
+    for (uint64_t s : m.failing_seeds) {
+      w.Value(s);
+    }
+    w.EndArray();
+    if (m.runs > 0 && m.name == "soak") {
+      const ScenarioResult& c = m.census;
+      w.Key("census");
+      w.BeginObject();
+      w.KV("groups_run", static_cast<int64_t>(c.groups_run));
+      w.KV("casts_sent", c.casts_sent);
+      w.KV("deliveries", c.deliveries);
+      w.KV("views_installed", c.views_installed);
+      w.KV("crashes", c.crashes);
+      w.KV("joins", c.joins);
+      w.KV("partitions", c.partitions);
+      w.KV("loss_bursts", c.loss_bursts);
+      w.KV("migrations", c.migrations);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  WriteJsonFile("BENCH_scenario.json", w.Take());
+}
+
+}  // namespace
+}  // namespace ensemble
+
+int main(int argc, char** argv) {
+  using namespace ensemble;
+
+  bool smoke = false;
+  bool want_sweep = false;
+  bool want_soak = false;
+  bool want_inject = false;
+  uint64_t seed = kDefaultSeed;
+  int groups = 1000;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--sweep") {
+      want_sweep = true;
+    } else if (arg == "--soak") {
+      want_soak = true;
+    } else if (arg == "--inject") {
+      want_inject = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 0);
+    } else if (arg.rfind("--groups=", 0) == 0) {
+      groups = std::atoi(arg.c_str() + 9);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--sweep] [--soak] [--inject] "
+                   "[--seed=N] [--groups=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  // Bare invocation (or bare --smoke): the full gate.
+  if (!want_sweep && !want_soak && !want_inject) {
+    want_sweep = want_soak = want_inject = true;
+  }
+  const int sweep_count = smoke ? 4 : 16;
+  const int64_t sweep_budget_ms = smoke ? 30000 : 180000;
+  const int soak_groups = smoke ? std::min(groups, 1000) : groups;
+
+  std::printf("Adversarial scenario gate (base seed 0x%" PRIx64 "%s)\n\n",
+              seed, smoke ? ", smoke" : "");
+
+  std::vector<ModeReport> reports;
+  if (want_sweep) {
+    reports.push_back(RunSweep(seed, sweep_count, sweep_budget_ms));
+    std::printf("\n");
+  }
+  if (want_soak) {
+    reports.push_back(RunSoak(seed, soak_groups));
+    std::printf("\n");
+  }
+  if (want_inject) {
+    reports.push_back(RunInject(seed, smoke ? 4 : 8, sweep_budget_ms));
+    std::printf("\n");
+  }
+
+  bool ok = true;
+  for (const ModeReport& m : reports) {
+    std::printf("%-8s %s\n", m.name.c_str(), m.ok ? "PASS" : "FAIL");
+    ok = ok && m.ok;
+  }
+  WriteArtifact(reports, ok);
+  return ok ? 0 : 1;
+}

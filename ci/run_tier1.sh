@@ -22,6 +22,10 @@
 #               sustained-load gate (bounded memory, graceful p99, every
 #               ladder rung firing) plus strict validation of
 #               BENCH_overload.json and TRACE_overload.json
+#   --scenario  scenario-engine tests + bench_scenario --smoke: bounded seed
+#               sweep over every adversarial class, the thousand-group soak,
+#               and the injected-bug oracle self-test; a failing seed prints
+#               on stdout and leaves SCHEDULE_*/TRACE_* artifacts in build/
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -49,6 +53,8 @@ case "$LEG" in
   autotune) CTEST_ARGS="-R CostModel|Autotuner"; SMOKES="autotune" ;;
   overload) CTEST_ARGS="-R Overload|Watermark|SendWindow|LiveCounter|BufferPool"
             SMOKES="overload" ;;
+  scenario) CTEST_ARGS="-R Scenario|SpanCheck|SimQueueReplay|OverloadLadder"
+            SMOKES="scenario" ;;
   *) echo "unknown leg: $LEG" >&2; exit 2 ;;
 esac
 
@@ -108,6 +114,18 @@ run_smoke() {
       cat overload_smoke.out
       json_check BENCH_overload.json
       json_check TRACE_overload.json
+      ;;
+    scenario)
+      # Seeded adversarial gate: bounded sweep over every scenario class, the
+      # thousand-group soak, and the injected-bug self-test (bench_scenario
+      # exits nonzero on any red run or if the planted bugs go uncaught).  A
+      # failure prints the reproducing seed and leaves SCHEDULE_* / TRACE_*
+      # artifacts here for upload (channel + sim planes — no sockets needed).
+      rm -f BENCH_scenario.json SCHEDULE_*.txt TRACE_scenario_*.json
+      ./bench/bench_scenario --smoke > scenario_smoke.out 2>&1 \
+        || { cat scenario_smoke.out; exit 1; }
+      cat scenario_smoke.out
+      json_check BENCH_scenario.json
       ;;
   esac
 }

@@ -20,7 +20,8 @@ GroupHarness::GroupHarness(HarnessConfig config)
                                               ep_config);
     ep->OnDeliver([this, i](const Event& ev) {
       deliveries_[static_cast<size_t>(i)].push_back(
-          Delivery{ev.type, ev.origin, ev.payload.Flatten().ToString()});
+          Delivery{ev.type, ev.origin, ev.payload.Flatten().ToString(),
+                   views_[static_cast<size_t>(i)].size()});
     });
     ep->OnView([this, i](const ViewRef& v) { views_[static_cast<size_t>(i)].push_back(v); });
     members_.push_back(std::move(ep));
@@ -66,6 +67,17 @@ std::vector<std::string> GroupHarness::CastPayloadsFrom(int member, Rank origin)
   return out;
 }
 
+std::vector<std::string> GroupHarness::CastPayloadsInView(int member,
+                                                          size_t view_index) const {
+  std::vector<std::string> out;
+  for (const Delivery& d : deliveries_[static_cast<size_t>(member)]) {
+    if (d.type == EventType::kDeliverCast && d.views_installed == view_index + 1) {
+      out.push_back(d.payload);
+    }
+  }
+  return out;
+}
+
 void GroupHarness::FlushAll() {
   for (auto& m : members_) {
     m->Flush();
@@ -99,7 +111,8 @@ int GroupHarness::AddMember() {
       EndpointId{static_cast<uint64_t>(index + 1)}, &net_, config_.ep);
   ep->OnDeliver([this, index](const Event& ev) {
     deliveries_[static_cast<size_t>(index)].push_back(
-        Delivery{ev.type, ev.origin, ev.payload.Flatten().ToString()});
+        Delivery{ev.type, ev.origin, ev.payload.Flatten().ToString(),
+                 views_[static_cast<size_t>(index)].size()});
   });
   ep->OnView([this, index](const ViewRef& v) {
     views_[static_cast<size_t>(index)].push_back(v);

@@ -34,6 +34,10 @@ class GroupHarness {
     EventType type;    // kDeliverCast or kDeliverSend.
     Rank origin;
     std::string payload;
+    // How many views this member had installed when the delivery happened:
+    // 0 = before any view, k = while views(member)[k-1] was current.  The
+    // virtual-synchrony oracle groups deliveries per view with this.
+    size_t views_installed = 0;
   };
 
   explicit GroupHarness(HarnessConfig config);
@@ -70,6 +74,10 @@ class GroupHarness {
   std::vector<std::string> CastPayloads(int member) const;
   // Cast payloads member i delivered from a particular origin, in order.
   std::vector<std::string> CastPayloadsFrom(int member, Rank origin) const;
+  // Cast payloads member i delivered while its view number `view_index`
+  // (an index into views(i)) was the installed view — the per-view multiset
+  // the virtual-synchrony oracle compares across surviving members.
+  std::vector<std::string> CastPayloadsInView(int member, size_t view_index) const;
 
   // Crashes a member: its node drops off the network (packets blackholed).
   void Crash(int member);

@@ -38,6 +38,8 @@ const char* LayerIdName(LayerId id) {
       return "total";
     case LayerId::kTotalBuggy:
       return "total_buggy";
+    case LayerId::kFifoBuggy:
+      return "fifo_buggy";
     case LayerId::kPartialAppl:
       return "partial_appl";
     case LayerId::kTop:

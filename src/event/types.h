@@ -68,6 +68,7 @@ enum class LayerId : uint8_t {
   kLocal,
   kTotal,
   kTotalBuggy,
+  kFifoBuggy,
   kPartialAppl,
   kTop,
   kFifoCheck,

@@ -1,0 +1,59 @@
+#include "src/layers/fifo_buggy.h"
+
+#include <utility>
+
+#include "src/util/hash.h"
+
+namespace ensemble {
+
+ENSEMBLE_REGISTER_LAYER(LayerId::kFifoBuggy, FifoBuggyLayer);
+
+void FifoBuggyLayer::Dn(Event ev, EventSink& sink) { sink.PassDn(std::move(ev)); }
+
+void FifoBuggyLayer::Up(Event ev, EventSink& sink) {
+  switch (ev.type) {
+    case EventType::kDeliverCast: {
+      auto held = held_.find(ev.origin);
+      if (held != held_.end()) {
+        // The previously held cast goes up AFTER this one: adjacent swap.
+        Event delayed = std::move(held->second);
+        held_.erase(held);
+        swaps_++;
+        sink.PassUp(std::move(ev));
+        sink.PassUp(std::move(delayed));
+        return;
+      }
+      uint64_t n = ++count_[ev.origin];
+      if (period_ > 0 && n % period_ == 0) {
+        held_.emplace(ev.origin, std::move(ev));
+        return;
+      }
+      sink.PassUp(std::move(ev));
+      return;
+    }
+    case EventType::kInit:
+    case EventType::kView:
+      // Flush anything still held before the membership boundary — the bug
+      // is a reorder, not a loss.
+      for (auto& [origin, e] : held_) {
+        sink.PassUp(std::move(e));
+      }
+      held_.clear();
+      count_.clear();
+      sink.PassUp(std::move(ev));
+      return;
+    default:
+      sink.PassUp(std::move(ev));
+      return;
+  }
+}
+
+uint64_t FifoBuggyLayer::StateDigest() const {
+  uint64_t h = kFnvOffset;
+  h = FnvMixU64(h, period_);
+  h = FnvMixU64(h, swaps_);
+  h = FnvMixU64(h, held_.size());
+  return h;
+}
+
+}  // namespace ensemble

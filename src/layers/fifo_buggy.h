@@ -1,0 +1,44 @@
+// fifo_buggy — a deliberately faulty FIFO-preserving layer.
+//
+// The scenario engine's oracle-of-the-oracles: a pass-through layer that
+// holds back every Nth up-going cast per origin and releases it one delivery
+// late, swapping two adjacent messages from the same sender.  Stacked under
+// the application (behind LayerParams::fifo_bug_period), it violates exactly
+// the per-sender FIFO property CheckReliableFifo / CheckFifoPrefixAmong
+// assert — a scenario run that does NOT flag a stack containing this layer
+// means the checking machinery, not the stack, is broken.
+//
+// Like total_buggy, it exists only so the checkers have a real bug to find;
+// it is never part of a production stack.
+
+#ifndef ENSEMBLE_SRC_LAYERS_FIFO_BUGGY_H_
+#define ENSEMBLE_SRC_LAYERS_FIFO_BUGGY_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/stack/layer.h"
+
+namespace ensemble {
+
+class FifoBuggyLayer : public Layer {
+ public:
+  explicit FifoBuggyLayer(const LayerParams& params)
+      : Layer(LayerId::kFifoBuggy), period_(params.fifo_bug_period) {}
+
+  void Dn(Event ev, EventSink& sink) override;
+  void Up(Event ev, EventSink& sink) override;
+  uint64_t StateDigest() const override;
+
+  uint64_t swaps() const { return swaps_; }
+
+ private:
+  uint32_t period_;
+  std::map<Rank, uint64_t> count_;   // Up-going casts seen per origin.
+  std::map<Rank, Event> held_;       // At most one held cast per origin.
+  uint64_t swaps_ = 0;
+};
+
+}  // namespace ensemble
+
+#endif  // ENSEMBLE_SRC_LAYERS_FIFO_BUGGY_H_

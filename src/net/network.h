@@ -226,6 +226,17 @@ class SimNetwork : public Network {
   // Cuts / restores all links of one endpoint (crash emulation).
   void SetNodeUp(EndpointId a, bool up);
 
+  // Swaps the fault knobs mid-run (loss/reorder bursts in scenario
+  // schedules).  Latency and seed are left alone — the RNG stream continues,
+  // so a run stays reproducible from the construction seed plus the schedule
+  // of SetFaults calls.  Packets already in flight keep their old fate.
+  void SetFaults(double drop_prob, double dup_prob, double reorder_prob) {
+    config_.drop_prob = drop_prob;
+    config_.dup_prob = dup_prob;
+    config_.reorder_prob = reorder_prob;
+  }
+  const NetworkConfig& config() const { return config_; }
+
   const NetworkStats& stats() const { return stats_; }
   SimQueue* queue() { return queue_; }
 

@@ -180,6 +180,23 @@ void AppendEvent(JsonWriter& w, const TraceEvent& e, uint64_t base_ns) {
 
 }  // namespace
 
+std::vector<TraceEvent> MergeTraceEvents(
+    const std::vector<const TraceRing*>& rings) {
+  std::vector<TraceEvent> merged;
+  for (const TraceRing* ring : rings) {
+    if (ring == nullptr) continue;
+    std::vector<TraceEvent> snap = ring->Snapshot();
+    merged.insert(merged.end(), snap.begin(), snap.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     if (x.ts_ns != y.ts_ns) return x.ts_ns < y.ts_ns;
+                     if (x.member != y.member) return x.member < y.member;
+                     return x.kind < y.kind;
+                   });
+  return merged;
+}
+
 std::string ChromeTraceJson(const std::vector<const TraceRing*>& rings) {
   // Gather per-ring snapshots and the global time base first.
   std::vector<std::vector<TraceEvent>> events;

@@ -128,6 +128,13 @@ inline constexpr bool kTraceCompiledIn = true;
 
 // ---- Export ----------------------------------------------------------------
 
+// Snapshots every ring and merges the events into one time-ordered stream
+// (ties broken by member then kind, so a member's handoff_start sorts before
+// its adopt even at equal timestamps).  steady_clock is one domain across
+// threads, so the merge is causal.  Null rings are skipped.
+std::vector<TraceEvent> MergeTraceEvents(
+    const std::vector<const TraceRing*>& rings);
+
 // Chrome trace-event JSON for a set of rings (one track per shard).
 // Timestamps are rebased to the earliest event across all rings.
 std::string ChromeTraceJson(const std::vector<const TraceRing*>& rings);

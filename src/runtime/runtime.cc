@@ -1430,6 +1430,24 @@ bool ShardRuntime::WriteTrace(const std::string& path) const {
   return obs::WriteChromeTrace(path, rings);
 }
 
+std::vector<obs::TraceEvent> ShardRuntime::TraceEvents() const {
+  std::vector<const obs::TraceRing*> rings;
+  rings.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    rings.push_back(worker->trace.get());
+  }
+  return obs::MergeTraceEvents(rings);
+}
+
+bool ShardRuntime::TraceComplete() const {
+  for (const auto& worker : workers_) {
+    if (worker->trace->dropped() > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
 NetworkStats ShardRuntime::AggregateNetStats() const {
   NetworkStats total;
   for (const auto& worker : workers_) {

@@ -378,6 +378,14 @@ class ShardRuntime {
   // requires trace_enabled (or obs::SetTraceEnabled) during the run; exact
   // after Stop().  False on I/O failure.
   bool WriteTrace(const std::string& path) const;
+  // Every shard's trace events merged and time-ordered (exact after Stop(),
+  // best-effort live).  Feed to CheckSpanShapes for migration/overload span
+  // oracles.
+  std::vector<obs::TraceEvent> TraceEvents() const;
+  // True when no shard's ring overwrote events, i.e. TraceEvents() is the
+  // complete emission history.  Span-shape checks are only sound when true;
+  // raise ShardRuntimeConfig::trace_capacity if this comes back false.
+  bool TraceComplete() const;
 
   // Main thread, only before Start() or after Stop().
   GroupEndpoint& member(int i) { return *members_[static_cast<size_t>(i)]; }

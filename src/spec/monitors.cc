@@ -1,5 +1,6 @@
 #include "src/spec/monitors.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
@@ -106,6 +107,115 @@ MonitorResult CheckTotalOrderAgreement(const GroupHarness& g) {
         last = it->second;
         last_key = k;
         have_last = true;
+      }
+    }
+  }
+  return result;
+}
+
+MonitorResult CheckFifoPrefixAmong(const GroupHarness& g,
+                                   const std::vector<int>& members,
+                                   const std::vector<std::vector<std::string>>& sent_by,
+                                   const std::vector<int>& complete_origins,
+                                   bool include_self,
+                                   bool require_gap_free) {
+  MonitorResult result;
+  std::set<int> complete(complete_origins.begin(), complete_origins.end());
+  // Payload → origin reverse index (payloads are globally unique).
+  std::map<std::string, size_t> origin_of;
+  for (size_t origin = 0; origin < sent_by.size(); origin++) {
+    for (const std::string& p : sent_by[origin]) {
+      origin_of[p] = origin;
+    }
+  }
+  for (int m : members) {
+    // Per-origin delivered subsequence, classified by payload, in delivery
+    // order — Delivery.origin (a rank) is deliberately ignored.
+    std::vector<std::vector<std::string>> got(sent_by.size());
+    for (const auto& d : g.deliveries(m)) {
+      if (d.type != EventType::kDeliverCast) {
+        continue;
+      }
+      auto it = origin_of.find(d.payload);
+      if (it == origin_of.end()) {
+        std::ostringstream os;
+        os << "member " << m << " delivered unknown payload '" << d.payload << "'";
+        result.ok = false;
+        result.violations.push_back(os.str());
+        continue;
+      }
+      got[it->second].push_back(d.payload);
+    }
+    for (size_t origin = 0; origin < sent_by.size(); origin++) {
+      if (!include_self && static_cast<size_t>(m) == origin) {
+        continue;
+      }
+      const std::vector<std::string>& want = sent_by[origin];
+      const std::vector<std::string>& have = got[origin];
+      bool order_ok;
+      if (require_gap_free) {
+        order_ok = have.size() <= want.size() &&
+                   std::equal(have.begin(), have.end(), want.begin());
+      } else {
+        // In-order subsequence: advance through `want` matching each
+        // delivered payload; duplicates and reorders find no match.
+        size_t w = 0;
+        order_ok = true;
+        for (const std::string& p : have) {
+          while (w < want.size() && want[w] != p) {
+            w++;
+          }
+          if (w == want.size()) {
+            order_ok = false;
+            break;
+          }
+          w++;
+        }
+      }
+      if (!order_ok) {
+        std::ostringstream os;
+        os << "member " << m << " deliveries from origin " << origin
+           << (require_gap_free ? " are not an in-order prefix"
+                                : " are not an in-order subsequence")
+           << " of what it sent (" << have.size() << " delivered of " << want.size()
+           << ")";
+        for (size_t i = 0; i < std::min(have.size(), want.size()); i++) {
+          if (have[i] != want[i]) {
+            os << "; first divergence at " << i << ": got '" << have[i] << "' want '"
+               << want[i] << "'";
+            break;
+          }
+        }
+        result.ok = false;
+        result.violations.push_back(os.str());
+      } else if (complete.count(static_cast<int>(origin)) > 0 &&
+                 have.size() != want.size()) {
+        std::ostringstream os;
+        os << "member " << m << " delivered only " << have.size() << " of "
+           << want.size() << " casts from connected origin " << origin;
+        result.ok = false;
+        result.violations.push_back(os.str());
+      }
+    }
+  }
+  return result;
+}
+
+MonitorResult CheckNoDuplicatePayloads(const GroupHarness& g,
+                                       const std::vector<int>& members) {
+  MonitorResult result;
+  for (int m : members) {
+    std::map<std::string, int> counts;
+    for (const auto& d : g.deliveries(m)) {
+      if (d.type != EventType::kDeliverCast) {
+        continue;
+      }
+      if (++counts[d.payload] == 2) {
+        std::ostringstream os;
+        os << "member " << m << " delivered payload '" << d.payload
+           << "' more than once";
+        result.ok = false;
+        result.violations.push_back(os.str());
       }
     }
   }

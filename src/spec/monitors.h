@@ -38,6 +38,37 @@ MonitorResult CheckTotalOrderAgreement(const GroupHarness& g);
 // Requires the harness members to have recorded views.
 MonitorResult CheckVirtualSynchrony(const std::vector<std::vector<std::string>>& per_view_sets);
 
+// ---- Churn-tolerant variants ----------------------------------------------
+//
+// Under membership churn a Rank names different members in different views,
+// so the rank-keyed monitors above are only sound while the view is stable.
+// These variants match deliveries by payload instead (scenario workloads
+// make every payload globally unique), which survives rank reshuffling.
+
+// FIFO prefix: every member in `members` delivered, from each origin, an
+// in-order gap-free PREFIX of sent_by[origin] — a member cut off by a crash
+// or partition may miss a suffix but must never reorder or skip.  Origins
+// listed in `complete_origins` are held to the full sequence, not just a
+// prefix (use for senders that stayed up and connected).  include_self
+// mirrors CheckReliableFifo: when false, member i's deliveries from origin i
+// are not checked.
+// When require_gap_free is false the check relaxes from "prefix" to
+// "in-order subsequence": deliveries must respect send order but may skip
+// messages (for schedules where a view cut can drop a sender's cast for
+// everyone).  Reorders and duplicates are flagged in both modes.
+MonitorResult CheckFifoPrefixAmong(const GroupHarness& g,
+                                   const std::vector<int>& members,
+                                   const std::vector<std::vector<std::string>>& sent_by,
+                                   const std::vector<int>& complete_origins,
+                                   bool include_self,
+                                   bool require_gap_free = true);
+
+// No duplicates by payload alone: a retransmission adopted in a later view
+// carries a different origin rank, which the (origin, payload)-keyed
+// CheckNoDuplicates would miss.
+MonitorResult CheckNoDuplicatePayloads(const GroupHarness& g,
+                                       const std::vector<int>& members);
+
 }  // namespace ensemble
 
 #endif  // ENSEMBLE_SRC_SPEC_MONITORS_H_

@@ -38,6 +38,10 @@ struct LayerParams {
   VTime heartbeat_interval = Millis(2);
   bool local_loopback = true;        // local layer delivers own casts.
   uint32_t stable_interval = 16;     // Casts between stability gossip rounds.
+  // fifo_buggy fault-injection layer: hold back every Nth up-going cast per
+  // origin and release it one delivery late (adjacent swap).  0 disables the
+  // bug even when the layer is stacked.
+  uint32_t fifo_bug_period = 3;
 };
 
 class Layer {

@@ -17,6 +17,7 @@
 #include "src/net/udp.h"
 #include "src/net/udp_uring.h"
 #include "src/runtime/runtime.h"
+#include "src/scenario/span_check.h"
 
 namespace ensemble {
 namespace {
@@ -333,6 +334,24 @@ void WireSeqTap(ShardRuntimeConfig* config, SeqTap* tap,
   };
 }
 
+// Migration oracle over the merged trace rings: every handoff_start must
+// close with an adopt on the shard it aimed at, with no overlapping spans
+// per member — the *shape* is the scheduler contract; the count of completed
+// spans is just its cardinality.  The rings also carry hot-path events and
+// overwrite oldest-first, so when the free-running echo traffic wrapped a
+// ring (or tracing is compiled out) the check degrades to the raw steal
+// counter instead of judging a truncated trace.
+void ExpectMigrationSpans(ShardRuntime& rt, size_t want_completed) {
+  if (!obs::kTraceCompiledIn || !rt.TraceComplete()) {
+    EXPECT_EQ(rt.SchedStats().steals, want_completed);
+    return;
+  }
+  SpanCheckResult spans = CheckSpanShapes(rt.TraceEvents());
+  EXPECT_TRUE(spans.ok) << spans.ToString();
+  EXPECT_EQ(spans.migrations_completed, want_completed) << spans.ToString();
+  EXPECT_EQ(spans.migrations_open, 0u) << spans.ToString();
+}
+
 // Prime a pair's even member with `window` in-flight messages.
 void PrimePair(ShardRuntime* rt, SeqTap* tap, int even_member, int window) {
   rt->PostToMember(even_member, [tap, even_member, window](GroupEndpoint& ep) {
@@ -354,6 +373,8 @@ TEST(ShardRuntimeTest, MigrateMemberHandsOffWithInflightTraffic) {
   config.num_workers = 2;
   config.ep = FastEndpointConfig();
   config.ep.params.pt2pt_window = 1u << 30;
+  config.trace_enabled = true;        // Migration spans judged from the trace.
+  config.trace_capacity = 1u << 18;  // Hot-path events share the rings.
   SeqTap tap;
   std::vector<GroupEndpoint*> eps(4, nullptr);
   WireSeqTap(&config, &tap, &eps);
@@ -389,7 +410,7 @@ TEST(ShardRuntimeTest, MigrateMemberHandsOffWithInflightTraffic) {
   tap.echo.store(false);
   rt.Stop();
   EXPECT_TRUE(tap.in_order.load()) << "per-sender FIFO broke across a handoff";
-  EXPECT_EQ(rt.SchedStats().steals, 4u);  // Four adoptions completed.
+  ExpectMigrationSpans(rt, 4u);  // Four matched handoff→adopt spans.
   // Lossless: everything each member sent arrived at its partner.
   EXPECT_EQ(tap.next_rx[1].load(), tap.next_tx[0].load());
   EXPECT_EQ(tap.next_rx[0].load(), tap.next_tx[1].load());
@@ -410,6 +431,8 @@ TEST(ShardRuntimeTest, MigrateMemberUdpSocketTravelsWithEndpoint) {
   config.net.ingress = IngressMode::kPerEndpoint;
   config.ep = FastEndpointConfig();
   config.ep.params.pt2pt_window = 1u << 30;
+  config.trace_enabled = true;
+  config.trace_capacity = 1u << 18;
   SeqTap tap;
   std::vector<GroupEndpoint*> eps(4, nullptr);
   WireSeqTap(&config, &tap, &eps);
@@ -431,7 +454,7 @@ TEST(ShardRuntimeTest, MigrateMemberUdpSocketTravelsWithEndpoint) {
   tap.echo.store(false);
   rt.Stop();
   EXPECT_TRUE(tap.in_order.load());
-  EXPECT_EQ(rt.SchedStats().steals, 2u);
+  ExpectMigrationSpans(rt, 2u);
 }
 
 // ---- Shared ingress at runtime scope ---------------------------------------
@@ -528,6 +551,8 @@ TEST(ShardRuntimeTest, MigrateMemberSharedIngressStaysInOrder) {
   config.net.ingress = IngressMode::kShared;
   config.ep = FastEndpointConfig();
   config.ep.params.pt2pt_window = 1u << 30;
+  config.trace_enabled = true;
+  config.trace_capacity = 1u << 18;
   SeqTap tap;
   std::vector<GroupEndpoint*> eps(4, nullptr);
   WireSeqTap(&config, &tap, &eps);
@@ -569,7 +594,7 @@ TEST(ShardRuntimeTest, MigrateMemberSharedIngressStaysInOrder) {
       5000));
   rt.Stop();
   EXPECT_TRUE(tap.in_order.load()) << "per-sender FIFO broke across a handoff";
-  EXPECT_EQ(rt.SchedStats().steals, 4u);
+  ExpectMigrationSpans(rt, 4u);
   EXPECT_EQ(tap.next_rx[1].load(), tap.next_tx[0].load());
   EXPECT_EQ(tap.next_rx[0].load(), tap.next_tx[1].load());
   // Four adoptions later the socket census is unchanged: nothing traveled.
@@ -592,6 +617,8 @@ TEST(ShardRuntimeTest, StealingRebalancesSkewedPlacement) {
   config.steal.min_victim_load = 2;
   config.steal.min_imbalance = 2.0;
   config.steal.cooldown = Millis(1);
+  config.trace_enabled = true;
+  config.trace_capacity = 1u << 18;
   SeqTap tap;
   std::vector<GroupEndpoint*> eps(8, nullptr);
   WireSeqTap(&config, &tap, &eps);
@@ -613,6 +640,16 @@ TEST(ShardRuntimeTest, StealingRebalancesSkewedPlacement) {
   rt.Stop();
   EXPECT_TRUE(rebalanced) << "steals=" << rt.steals();
   EXPECT_GE(rt.SchedStats().steal_requests, 1u);
+  if (obs::kTraceCompiledIn && rt.TraceComplete()) {
+    // Policy-driven steals: the count varies with timing and another may be
+    // mid-flight at Stop(), but every completed span must be well shaped and
+    // the whole-group rebalance needs at least two of them.
+    SpanCheckOptions opts;
+    opts.require_migrations_closed = false;
+    SpanCheckResult spans = CheckSpanShapes(rt.TraceEvents(), opts);
+    EXPECT_TRUE(spans.ok) << spans.ToString();
+    EXPECT_GE(spans.migrations_completed, 2u) << spans.ToString();
+  }
   EXPECT_GE(rt.LoadOf(1).resident, 2);
   // Groups move whole: pairs still share a shard after rebalancing.
   for (int p = 0; p < 4; p++) {
